@@ -1,0 +1,120 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// The paper's evaluation uses day 46 of the WorldCup'98 trace: 50.3M
+// requests at 27 mirrors over 24 hours, with sketch sizes D ∈ {7000,
+// 21000, 35000} and windows of 1–4 hours. A laptop reproduction cannot
+// sweep dozens of 50M-update runs, so every benchmark scales the trace
+// down and scales D with it, keeping the dimensionless ratio
+//     stream length / (k · D)
+// that governs the normalized comm.cost — the quantity all figures plot —
+// comparable to the paper's. Window lengths stay in real (simulated)
+// seconds, so they cover the same fraction of the day.
+//
+// Environment knobs:
+//   FGM_BENCH_SCALE  — multiplies the trace length (default 1.0; the
+//                      default trace is ~1.2M updates ≈ 1/42 of the
+//                      paper's day). Larger values sharpen the numbers at
+//                      proportionally larger runtime.
+
+#ifndef FGM_BENCH_BENCH_COMMON_H_
+#define FGM_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "driver/runner.h"
+#include "stream/partition.h"
+#include "stream/worldcup.h"
+#include "util/table.h"
+
+namespace fgm {
+namespace bench {
+
+inline constexpr double kPaperUpdates = 50.3e6;
+inline constexpr int kPaperSites = 27;
+inline constexpr int kSketchDepth = 5;
+
+struct BenchScale {
+  int64_t updates;
+
+  double sigma() const {
+    return static_cast<double>(updates) / kPaperUpdates;
+  }
+
+  /// Scales a paper sketch dimension D to this run, returned as the width
+  /// of a depth-kSketchDepth Fast-AGMS sketch.
+  int WidthForPaperD(double paper_d) const {
+    const double scaled = paper_d * sigma() / kSketchDepth;
+    const int width = static_cast<int>(scaled + 0.5);
+    return width < 8 ? 8 : width;
+  }
+};
+
+inline BenchScale DefaultScale() {
+  double multiplier = 1.0;
+  if (const char* env = std::getenv("FGM_BENCH_SCALE")) {
+    multiplier = std::strtod(env, nullptr);
+    if (multiplier <= 0) multiplier = 1.0;
+  }
+  BenchScale scale;
+  scale.updates = static_cast<int64_t>(1200000.0 * multiplier);
+  return scale;
+}
+
+/// The day-46-like synthetic trace at 27 sites (generated once per
+/// binary).
+inline std::vector<StreamRecord> PaperTrace(const BenchScale& scale) {
+  WorldCupConfig config;
+  config.sites = kPaperSites;
+  config.total_updates = scale.updates;
+  config.duration = 86400.0;
+  config.distinct_clients =
+      static_cast<uint64_t>(40000.0 * scale.sigma() * 50.0) + 10000;
+  return GenerateWorldCupTrace(config);
+}
+
+/// Base run configuration for the sketch queries.
+inline RunConfig BaseConfig(QueryKind query, int sites, double paper_d,
+                            double epsilon, double window_seconds,
+                            const BenchScale& scale) {
+  RunConfig config;
+  config.query = query;
+  config.sites = sites;
+  config.depth = kSketchDepth;
+  config.width = scale.WidthForPaperD(paper_d);
+  config.epsilon = epsilon;
+  config.window_seconds = window_seconds;
+  // Sparse sanity checks: confirms the guarantee during benches at ~0 cost.
+  config.check_every = 20000;
+  return config;
+}
+
+inline std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+/// Columns shared by the figure tables.
+inline std::vector<std::string> ResultRow(const std::string& x_label,
+                                          const RunResult& r) {
+  return {x_label,
+          r.protocol_name,
+          Fmt("%.4f", r.comm_cost),
+          Fmt("%.1f%%", 100.0 * r.upstream_fraction),
+          TablePrinter::Cell(r.rounds),
+          Fmt("%.2g", r.max_violation)};
+}
+
+inline std::vector<std::string> ResultColumns(const std::string& x_name) {
+  return {x_name, "protocol", "comm.cost", "upstream%", "rounds",
+          "bound overshoot"};
+}
+
+}  // namespace bench
+}  // namespace fgm
+
+#endif  // FGM_BENCH_BENCH_COMMON_H_

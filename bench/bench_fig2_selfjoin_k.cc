@@ -1,0 +1,57 @@
+// Figure 2: communication cost and upstream share of GM / FGM / FGM/O for
+// the self-join query Q1, as a function of the number of sites k, in the
+// turnstile model (TW = 4h window) and the cash-register model.
+// Paper parameters: ε = 0.1, D = 7000.
+//
+// Expected shape (paper): FGM variants 2–3× cheaper than GM as k grows;
+// GM's upstream share grows with k while FGM's falls.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fgm {
+namespace bench {
+namespace {
+
+void RunModel(const std::vector<StreamRecord>& trace, const BenchScale& scale,
+              double window, const char* title) {
+  PrintBanner(title);
+  TablePrinter table(ResultColumns("k"));
+  for (const int k : {2, 5, 9, 14, 20, 27}) {
+    const auto partitioned =
+        k == kPaperSites ? trace : RehashSites(trace, k);
+    for (const ProtocolKind protocol :
+         {ProtocolKind::kGm, ProtocolKind::kFgm, ProtocolKind::kFgmOpt}) {
+      RunConfig config = BaseConfig(QueryKind::kSelfJoin, k,
+                                    /*paper_d=*/7000.0, /*epsilon=*/0.1,
+                                    window, scale);
+      config.protocol = protocol;
+      const RunResult r = ::fgm::Run(config, partitioned);
+      table.AddRow(ResultRow(TablePrinter::Cell(static_cast<int64_t>(k)), r));
+    }
+  }
+  table.Print();
+}
+
+void Main() {
+  const BenchScale scale = DefaultScale();
+  std::printf("Figure 2 reproduction: query Q1 (self-join), eps=0.1, "
+              "paper D=7000 (scaled width=%d), %lld updates\n",
+              scale.WidthForPaperD(7000.0),
+              static_cast<long long>(scale.updates));
+  const auto trace = PaperTrace(scale);
+  RunModel(trace, scale, /*window=*/4.0 * 3600.0,
+           "Fig 2 (top): Q1, turnstile model, TW = 4h");
+  RunModel(trace, scale, /*window=*/0.0,
+           "Fig 2 (bottom): Q1, cash-register model");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fgm
+
+int main() {
+  fgm::bench::Main();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 4: communication cost under a difficult workload — large state
+// vectors (paper D = 35000), a short 1-hour window (high variability) and
+// tight accuracies ε ∈ [0.02, 0.1], at k = 27.
+//
+// Expected shape (paper): every protocol except FGM/O costs several times
+// the size of the streamed data (rounds are too short to amortize safe
+// zones); FGM/O keeps the total cost low by declining to ship safe zones
+// in most rounds.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fgm {
+namespace bench {
+namespace {
+
+void RunQuery(const std::vector<StreamRecord>& trace, const BenchScale& scale,
+              QueryKind query, double paper_d, const char* title) {
+  PrintBanner(title);
+  TablePrinter table(ResultColumns("eps"));
+  for (const double eps : {0.02, 0.04, 0.06, 0.08, 0.10}) {
+    for (const ProtocolKind protocol :
+         {ProtocolKind::kGm, ProtocolKind::kFgm, ProtocolKind::kFgmOpt}) {
+      RunConfig config = BaseConfig(query, kPaperSites, paper_d, eps,
+                                    /*window=*/3600.0, scale);
+      config.protocol = protocol;
+      const RunResult r = ::fgm::Run(config, trace);
+      table.AddRow(ResultRow(Fmt("%.2f", eps), r));
+    }
+  }
+  table.Print();
+}
+
+void Main() {
+  const BenchScale scale = DefaultScale();
+  std::printf("Figure 4 reproduction: adverse workload, k=27, paper "
+              "D=35000 (scaled width=%d), TW=1h, %lld updates\n",
+              scale.WidthForPaperD(35000.0),
+              static_cast<long long>(scale.updates));
+  const auto trace = PaperTrace(scale);
+  RunQuery(trace, scale, QueryKind::kSelfJoin, 35000.0,
+           "Fig 4 (left): Q1 (self-join) under adverse conditions");
+  RunQuery(trace, scale, QueryKind::kJoin, 17500.0,
+           "Fig 4 (right): Q2 (join) under adverse conditions");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fgm
+
+int main() {
+  fgm::bench::Main();
+  return 0;
+}

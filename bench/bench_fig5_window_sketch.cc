@@ -1,0 +1,85 @@
+// Figure 5: communication cost over varying sliding-window length TW
+// (top row; paper D = 21000) and varying sketch size D (bottom row;
+// TW = 2h), for queries Q1 and Q2, at k = 27 and ε = 0.06.
+//
+// Expected shape (paper): cost falls as TW widens (variability drops);
+// cost grows roughly linearly in D for GM and FGM while FGM/O flattens by
+// switching to cheap safe functions.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fgm {
+namespace bench {
+namespace {
+
+constexpr double kEps = 0.06;
+
+// Q2 splits its state across two sketches: use half the paper D per
+// sketch so the total state dimension matches.
+double PaperDFor(QueryKind query, double paper_d) {
+  return query == QueryKind::kJoin ? paper_d / 2 : paper_d;
+}
+
+void WindowSweep(const std::vector<StreamRecord>& trace,
+                 const BenchScale& scale, QueryKind query,
+                 const char* title) {
+  PrintBanner(title);
+  TablePrinter table(ResultColumns("TW (s)"));
+  for (const double tw : {3600.0, 7200.0, 10800.0, 14400.0}) {
+    for (const ProtocolKind protocol :
+         {ProtocolKind::kGm, ProtocolKind::kFgm, ProtocolKind::kFgmOpt}) {
+      RunConfig config = BaseConfig(query, kPaperSites,
+                                    PaperDFor(query, 21000.0), kEps, tw,
+                                    scale);
+      config.protocol = protocol;
+      const RunResult r = ::fgm::Run(config, trace);
+      table.AddRow(ResultRow(Fmt("%.0f", tw), r));
+    }
+  }
+  table.Print();
+}
+
+void SketchSweep(const std::vector<StreamRecord>& trace,
+                 const BenchScale& scale, QueryKind query,
+                 const char* title) {
+  PrintBanner(title);
+  TablePrinter table(ResultColumns("paper D"));
+  for (const double paper_d : {7000.0, 21000.0, 35000.0}) {
+    for (const ProtocolKind protocol :
+         {ProtocolKind::kGm, ProtocolKind::kFgm, ProtocolKind::kFgmOpt}) {
+      RunConfig config = BaseConfig(query, kPaperSites,
+                                    PaperDFor(query, paper_d), kEps,
+                                    /*window=*/7200.0, scale);
+      config.protocol = protocol;
+      const RunResult r = ::fgm::Run(config, trace);
+      table.AddRow(ResultRow(Fmt("%.0f", paper_d), r));
+    }
+  }
+  table.Print();
+}
+
+void Main() {
+  const BenchScale scale = DefaultScale();
+  std::printf("Figure 5 reproduction: k=27, eps=0.06, %lld updates\n",
+              static_cast<long long>(scale.updates));
+  const auto trace = PaperTrace(scale);
+  WindowSweep(trace, scale, QueryKind::kSelfJoin,
+              "Fig 5 (top-left): Q1 over TW, paper D=21000");
+  WindowSweep(trace, scale, QueryKind::kJoin,
+              "Fig 5 (top-right): Q2 over TW, paper D=21000");
+  SketchSweep(trace, scale, QueryKind::kSelfJoin,
+              "Fig 5 (bottom-left): Q1 over D, TW=2h");
+  SketchSweep(trace, scale, QueryKind::kJoin,
+              "Fig 5 (bottom-right): Q2 over D, TW=2h");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fgm
+
+int main() {
+  fgm::bench::Main();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Micro benchmarks (google-benchmark): throughput of the data-path
+// building blocks — sketch updates, incremental safe-function evaluation,
+// and end-to-end protocol record processing.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/fgm_protocol.h"
+#include "query/query.h"
+#include "safezone/join_sz.h"
+#include "safezone/selfjoin_sz.h"
+#include "sketch/fast_agms.h"
+#include "util/rng.h"
+
+namespace fgm {
+namespace {
+
+std::shared_ptr<const AgmsProjection> Projection(int d, int w) {
+  return std::make_shared<const AgmsProjection>(d, w, 42);
+}
+
+RealVector WarmSketch(const AgmsProjection& proj, int updates, int factor) {
+  Xoshiro256ss rng(7);
+  RealVector state(static_cast<size_t>(factor) * proj.dimension());
+  std::vector<CellUpdate> deltas;
+  for (int i = 0; i < updates; ++i) {
+    deltas.clear();
+    proj.Map(rng.NextBounded(100000), 1.0, &deltas);
+    const size_t offset =
+        (factor == 2 && (i & 1)) ? proj.dimension() : 0;
+    for (const auto& u : deltas) state[u.index + offset] += u.delta;
+  }
+  return state;
+}
+
+void BM_SketchUpdate(benchmark::State& state) {
+  auto proj = Projection(static_cast<int>(state.range(0)),
+                         static_cast<int>(state.range(1)));
+  FastAgms sketch(proj);
+  Xoshiro256ss rng(1);
+  for (auto _ : state) {
+    sketch.Update(rng.NextBounded(1000000), 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchUpdate)->Args({5, 500})->Args({7, 1000})->Args({7, 5000});
+
+void BM_SelfJoinEstimate(benchmark::State& state) {
+  auto proj = Projection(7, static_cast<int>(state.range(0)));
+  const RealVector s = WarmSketch(*proj, 50000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelfJoinEstimate(*proj, s));
+  }
+}
+BENCHMARK(BM_SelfJoinEstimate)->Arg(1000)->Arg(5000);
+
+void BM_SelfJoinEvaluatorUpdate(benchmark::State& state) {
+  auto proj = Projection(5, static_cast<int>(state.range(0)));
+  const RealVector e = WarmSketch(*proj, 50000, 1);
+  const double q = SelfJoinEstimate(*proj, e);
+  SelfJoinSafeFunction fn(proj, e, 0.9 * q, 1.1 * q);
+  auto eval = fn.MakeEvaluator();
+  Xoshiro256ss rng(3);
+  std::vector<CellUpdate> deltas;
+  for (auto _ : state) {
+    deltas.clear();
+    proj->Map(rng.NextBounded(1000000), 1.0, &deltas);
+    for (const auto& u : deltas) eval->ApplyDelta(u.index, u.delta);
+    benchmark::DoNotOptimize(eval->Value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelfJoinEvaluatorUpdate)->Arg(500)->Arg(5000);
+
+void BM_JoinEvaluatorUpdate(benchmark::State& state) {
+  auto proj = Projection(5, static_cast<int>(state.range(0)));
+  const RealVector e = WarmSketch(*proj, 50000, 2);
+  const double q = JoinEstimateConcatenated(*proj, e);
+  const double margin = std::max(0.2 * std::fabs(q), 1.0);
+  JoinSafeFunction fn(proj, e, q - margin, q + margin);
+  auto eval = fn.MakeEvaluator();
+  Xoshiro256ss rng(5);
+  std::vector<CellUpdate> deltas;
+  for (auto _ : state) {
+    deltas.clear();
+    proj->Map(rng.NextBounded(1000000), 1.0, &deltas);
+    for (const auto& u : deltas) eval->ApplyDelta(u.index, u.delta);
+    benchmark::DoNotOptimize(eval->Value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JoinEvaluatorUpdate)->Arg(500)->Arg(5000);
+
+void BM_FgmProcessRecord(benchmark::State& state) {
+  auto proj = Projection(5, 500);
+  SelfJoinQuery query(proj, 0.1);
+  FgmConfig config;
+  const int k = static_cast<int>(state.range(0));
+  FgmProtocol protocol(&query, k, config);
+  Xoshiro256ss rng(9);
+  StreamRecord rec;
+  for (auto _ : state) {
+    rec.site = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(k)));
+    rec.cid = rng.NextBounded(1000000);
+    protocol.ProcessRecord(rec);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FgmProcessRecord)->Arg(4)->Arg(27);
+
+}  // namespace
+}  // namespace fgm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Side-by-side comparison of every monitoring protocol in the library on
+// one workload: centralizing baseline, classic GM, FGM without
+// rebalancing, FGM, and FGM/O.
+//
+//   ./build/examples/protocol_comparison [--updates=400000] [--sites=27]
+//       [--eps=0.1] [--window=14400] [--query=selfjoin|join]
+
+#include <cstdio>
+#include <string>
+
+#include "driver/runner.h"
+#include "stream/worldcup.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  fgm::Flags flags(argc, argv);
+  const int sites = static_cast<int>(flags.GetInt("sites", 27));
+  const int64_t updates = flags.GetInt("updates", 400000);
+  const double eps = flags.GetDouble("eps", 0.1);
+  const double window = flags.GetDouble("window", 14400.0);
+  const std::string query_name = flags.GetString("query", "selfjoin");
+
+  fgm::WorldCupConfig wc;
+  wc.sites = sites;
+  wc.total_updates = updates;
+  const auto trace = GenerateWorldCupTrace(wc);
+
+  fgm::RunConfig config;
+  config.query = query_name == "join" ? fgm::QueryKind::kJoin
+                                      : fgm::QueryKind::kSelfJoin;
+  config.sites = sites;
+  config.depth = 5;
+  config.width = query_name == "join" ? 150 : 300;
+  config.epsilon = eps;
+  config.window_seconds = window;
+  config.check_every = 5000;
+
+  std::printf("Protocol comparison on %s, %lld updates, %d sites, "
+              "eps=%.3g, TW=%.1fh\n",
+              query_name.c_str(), static_cast<long long>(updates), sites,
+              eps, window / 3600.0);
+
+  fgm::TablePrinter table({"protocol", "comm.cost (words/update)",
+                           "upstream%", "rounds", "estimate", "truth",
+                           "bound overshoot"});
+  for (const fgm::ProtocolKind kind :
+       {fgm::ProtocolKind::kCentral, fgm::ProtocolKind::kGm,
+        fgm::ProtocolKind::kFgmBasic, fgm::ProtocolKind::kFgm,
+        fgm::ProtocolKind::kFgmOpt}) {
+    config.protocol = kind;
+    const fgm::RunResult r = fgm::Run(config, trace);
+    table.AddRow({r.protocol_name,
+                  fgm::TablePrinter::Cell(r.comm_cost),
+                  fgm::TablePrinter::Cell(100.0 * r.upstream_fraction),
+                  fgm::TablePrinter::Cell(r.rounds),
+                  fgm::TablePrinter::Cell(r.final_estimate),
+                  fgm::TablePrinter::Cell(r.final_truth),
+                  fgm::TablePrinter::Cell(r.max_violation)});
+  }
+  table.Print();
+  std::printf("\nAll protocols answer Q within (1±%.3g) of the sketch "
+              "value continuously; they differ only in the words moved.\n",
+              eps);
+  return 0;
+}

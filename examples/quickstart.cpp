@@ -1,0 +1,63 @@
+// Quickstart: monitor a self-join (F2) query over a distributed stream
+// with Functional Geometric Monitoring.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [--updates=200000] [--sites=10] [--eps=0.1]
+//
+// The example generates a synthetic WorldCup-like trace, monitors query
+// Q1 (self-join size of the CID frequency vector, via Fast-AGMS sketches)
+// with the FGM protocol, and prints the communication cost next to the
+// centralizing baseline.
+
+#include <cstdio>
+
+#include "driver/runner.h"
+#include "stream/partition.h"
+#include "stream/worldcup.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  fgm::Flags flags(argc, argv);
+  const int sites = static_cast<int>(flags.GetInt("sites", 10));
+  const int64_t updates = flags.GetInt("updates", 200000);
+  const double eps = flags.GetDouble("eps", 0.1);
+
+  // 1. A distributed stream: `sites` sites, one simulated day.
+  fgm::WorldCupConfig wc;
+  wc.sites = sites;
+  wc.total_updates = updates;
+  const std::vector<fgm::StreamRecord> trace = GenerateWorldCupTrace(wc);
+
+  // 2. Monitoring configuration: Q1 over a 5x500 Fast-AGMS sketch,
+  //    relative accuracy eps, cash-register model.
+  fgm::RunConfig config;
+  config.query = fgm::QueryKind::kSelfJoin;
+  config.sites = sites;
+  config.depth = 5;
+  config.width = 500;
+  config.epsilon = eps;
+  config.check_every = 1000;  // verify the guarantee as we go
+
+  std::printf("Monitoring Q1 (self-join) over %lld updates at %d sites, "
+              "eps=%.3g\n\n",
+              static_cast<long long>(updates), sites, eps);
+
+  // 3. Run FGM and the baseline on the same stream.
+  for (const fgm::ProtocolKind kind :
+       {fgm::ProtocolKind::kFgm, fgm::ProtocolKind::kCentral}) {
+    config.protocol = kind;
+    const fgm::RunResult r = fgm::Run(config, trace);
+    std::printf("%-8s comm.cost=%6.3f words/update  (up %.0f%%)  rounds=%lld"
+                "  estimate=%.4g  truth=%.4g  max bound overshoot=%.2g\n",
+                r.protocol_name.c_str(), r.comm_cost,
+                100.0 * r.upstream_fraction,
+                static_cast<long long>(r.rounds), r.final_estimate,
+                r.final_truth, r.max_violation);
+  }
+  std::printf(
+      "\nFGM answered the query within (1±%.3g) continuously, at a fraction "
+      "of the cost of centralizing the stream.\n",
+      eps);
+  return 0;
+}

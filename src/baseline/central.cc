@@ -1,0 +1,36 @@
+#include "baseline/central.h"
+
+#include "util/check.h"
+
+namespace fgm {
+
+CentralProtocol::CentralProtocol(const ContinuousQuery* query, int num_sites)
+    : query_(query),
+      sites_k_(num_sites),
+      network_(num_sites),
+      state_(query->dimension()) {
+  FGM_CHECK(query != nullptr);
+  FGM_CHECK_GE(num_sites, 1);
+}
+
+void CentralProtocol::ProcessRecord(const StreamRecord& record) {
+  FGM_CHECK(record.site >= 0 && record.site < sites_k_);
+  network_.Downstream(record.site, MsgKind::kRawUpdate, 1);
+  delta_scratch_.clear();
+  query_->MapRecord(record, &delta_scratch_);
+  // Global state is the *average* of local states (§2.1): each update
+  // contributes its deltas scaled by 1/k.
+  const double inv_k = 1.0 / static_cast<double>(sites_k_);
+  for (const CellUpdate& u : delta_scratch_) {
+    state_[u.index] += inv_k * u.delta;
+  }
+}
+
+double CentralProtocol::Estimate() const { return query_->Evaluate(state_); }
+
+ThresholdPair CentralProtocol::CurrentThresholds() const {
+  const double q = Estimate();
+  return ThresholdPair{q, q};
+}
+
+}  // namespace fgm

@@ -1,0 +1,43 @@
+// Centralizing baseline: every stream update is forwarded to the
+// coordinator verbatim (one word per update, downstream only).
+//
+// This is the method any monitoring protocol must beat; the paper's
+// "comm.cost" axes are normalized by exactly this cost, so the baseline
+// doubles as the normalizer in the benchmark harness. Its estimate is
+// exact at all times.
+
+#ifndef FGM_BASELINE_CENTRAL_H_
+#define FGM_BASELINE_CENTRAL_H_
+
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/protocol.h"
+#include "query/query.h"
+
+namespace fgm {
+
+class CentralProtocol : public MonitoringProtocol {
+ public:
+  CentralProtocol(const ContinuousQuery* query, int num_sites);
+
+  std::string name() const override { return "CENTRAL"; }
+  void ProcessRecord(const StreamRecord& record) override;
+  const RealVector& GlobalEstimate() const override { return state_; }
+  double Estimate() const override;
+  ThresholdPair CurrentThresholds() const override;
+  const TrafficStats& traffic() const override { return network_.stats(); }
+  int64_t rounds() const override { return 0; }
+
+ private:
+  const ContinuousQuery* query_;
+  int sites_k_;
+  SimNetwork network_;
+  RealVector state_;  // exact global state, scaled by 1/k
+  std::vector<CellUpdate> delta_scratch_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_BASELINE_CENTRAL_H_

@@ -1,0 +1,69 @@
+// FGM protocol configuration.
+
+#ifndef FGM_CORE_FGM_CONFIG_H_
+#define FGM_CORE_FGM_CONFIG_H_
+
+#include <cstdint>
+
+namespace fgm {
+
+struct FgmConfig {
+  /// ε_ψ of §2.4: subrounds end when ψ ≥ ε_ψ·k·φ(0). The paper uses 0.01
+  /// throughout and so do we.
+  double eps_psi = 0.01;
+
+  /// Enables the overhead-free rebalancing of §4.1 (balance vector +
+  /// scaling factor λ). Part of the protocol the paper calls "FGM".
+  bool rebalance = true;
+
+  /// Enables the cost-based optimizer of §4.2 ("FGM/O"): per-round choice
+  /// between the full safe function and the 3-word cheap bound per site.
+  bool optimizer = false;
+
+  /// Second-order rate prediction for the optimizer (§4.2.5's suggested
+  /// extension): extrapolates the per-site rates from the last two rounds
+  /// instead of reusing the last round's verbatim.
+  bool optimizer_second_order = false;
+
+  /// Feedback guard for the optimizer (§4.2.5 notes the crude linear
+  /// model "will often be fooled"): the coordinator keeps an EWMA of the
+  /// measured words-per-update of mostly-cheap vs mostly-full rounds and
+  /// overrides a cheap plan with the all-full plan when cheap rounds have
+  /// demonstrably cost more (by feedback_margin). Every
+  /// feedback_probe_period-th round the model's choice passes through
+  /// unguarded so the estimate can recover after workload shifts.
+  bool optimizer_feedback = true;
+  double feedback_margin = 1.1;
+  int64_t feedback_probe_period = 16;
+
+  /// Runaway-cheap-round cutoff: a mostly-cheap round that has already
+  /// spent more than this many times the cost of a full-zone round
+  /// (k·D + expected subround overhead) is ended early, bounding the
+  /// damage of a mispredicted plan to O(k·D) words.
+  double feedback_budget_factor = 4.0;
+
+  /// Rebalancing is abandoned (the round ends) when the recomputed scale
+  /// λ = 1 - µ* drops below this. Must exceed eps_psi.
+  double min_lambda = 0.05;
+
+  /// Rebalancing exists to avoid re-shipping safe zones; it only pays when
+  /// the zone shipping it avoids costs more than the extra subround
+  /// overhead it incurs (§4.1.1 explicitly leaves the flush policy as a
+  /// conservatively-chosen heuristic). The round is ended directly when
+  /// the current plan's average upstream words per site falls below this.
+  double rebalance_min_words_per_site = 16.0;
+
+  /// Bisection tolerance for µ* as a fraction of |φ(0)|.
+  double bisection_tol = 1e-3;
+
+  /// Hard cap on subrounds per round — a runaway-loop backstop only. Note
+  /// that with rebalancing a round can legitimately last very long: when
+  /// the balance vector keeps cancelling itself (stationary windowed
+  /// streams), λ stays near 1 and the round keeps being extended, which
+  /// is the desired behaviour.
+  int64_t max_subrounds_per_round = int64_t{1} << 40;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_CORE_FGM_CONFIG_H_

@@ -1,0 +1,363 @@
+#include "core/fgm_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fgm {
+
+FgmProtocol::FgmProtocol(const ContinuousQuery* query, int num_sites,
+                         FgmConfig config)
+    : query_(query),
+      sites_k_(num_sites),
+      config_(config),
+      network_(num_sites),
+      estimate_(query->dimension()),
+      balance_(query->dimension()) {
+  FGM_CHECK(query != nullptr);
+  FGM_CHECK_GE(num_sites, 1);
+  FGM_CHECK_GT(config_.eps_psi, 0.0);
+  FGM_CHECK_LT(config_.eps_psi, 1.0);
+  sites_.reserve(static_cast<size_t>(num_sites));
+  round_drift_.reserve(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) {
+    sites_.emplace_back(i);
+    round_drift_.emplace_back(query->dimension());
+  }
+  plan_.assign(static_cast<size_t>(num_sites), 1);
+  StartRound();
+  // The very first round has no previous round to count against; its
+  // setup traffic is still charged (the coordinator must distribute the
+  // initial safe functions).
+}
+
+std::string FgmProtocol::name() const {
+  if (config_.optimizer) return "FGM/O";
+  return config_.rebalance ? "FGM" : "FGM-basic";
+}
+
+void FgmProtocol::ProcessRecord(const StreamRecord& record) {
+  FGM_CHECK(record.site >= 0 && record.site < sites_k_);
+  delta_scratch_.clear();
+  query_->MapRecord(record, &delta_scratch_);
+  ++total_updates_;
+  FgmSite& site = sites_[static_cast<size_t>(record.site)];
+  const int64_t increment = site.ApplyUpdate(delta_scratch_);
+  if (increment > 0) {
+    // One-word message carrying the increase to c_i.
+    network_.Downstream(record.site, MsgKind::kCounter, 1);
+    counter_total_ += increment;
+    if (counter_total_ > sites_k_) PollAndAdvance();
+  }
+}
+
+void FgmProtocol::StartRound() {
+  // Book the ending round's measured cost rate under its plan class
+  // (feedback guard input), then snapshot for the new round.
+  if (rounds_ > 0 && config_.optimizer) {
+    const int64_t words =
+        network_.stats().total_words() - round_start_words_;
+    const int64_t updates = total_updates_ - round_start_updates_;
+    if (updates > 0) {
+      int64_t full_count = 0;
+      for (uint8_t d : plan_) full_count += d;
+      // Class 1 = "has cheap sites": even a few cheap bounds can poison a
+      // round with variability-driven subround churn.
+      const size_t cls = (full_count < sites_k_) ? 1 : 0;
+      const double rate =
+          static_cast<double>(words) / static_cast<double>(updates);
+      class_cost_ewma_[cls] = class_cost_count_[cls] == 0
+                                  ? rate
+                                  : 0.7 * class_cost_ewma_[cls] + 0.3 * rate;
+      ++class_cost_count_[cls];
+    }
+  }
+  round_start_words_ = network_.stats().total_words();
+  round_start_updates_ = total_updates_;
+
+  ++rounds_;
+  if (rounds_ > 1) {
+    subround_histogram_.Add(subrounds_this_round_);
+  }
+  subrounds_this_round_ = 0;
+
+  query_value_ = query_->Evaluate(estimate_);
+  thresholds_ = query_->Thresholds(estimate_);
+  safe_fn_ = query_->MakeSafeFunction(estimate_);
+  phi_zero_ = safe_fn_->AtZero();
+  FGM_CHECK_LT(phi_zero_, 0.0);
+  cheap_fn_ =
+      std::make_unique<CheapBoundFunction>(CheapBoundFunction::For(*safe_fn_));
+
+  // FGM/O: choose the per-site plan from the previous round's rates. The
+  // fixed per-round overhead covers the expected subround traffic
+  // ((3k+1) words per subround, ~log2(1/ε_ψ) subrounds) plus the
+  // end-of-round poll and flush acknowledgements.
+  if (config_.optimizer && have_rates_) {
+    const double k = static_cast<double>(sites_k_);
+    const double overhead =
+        (3.0 * k + 1.0) * std::log2(1.0 / config_.eps_psi) + 4.0 * k;
+    const std::vector<SiteRates>& rates =
+        (config_.optimizer_second_order && have_older_rates_)
+            ? (scratch_rates_ =
+                   ExtrapolateRates(older_rates_, prev_rates_))
+            : prev_rates_;
+    plan_ = OptimizeRoundPlan(rates,
+                              static_cast<int64_t>(query_->dimension()),
+                              overhead)
+                .full_function;
+    // Feedback guard: if mostly-cheap rounds have measurably cost more
+    // per update than mostly-full rounds, override a cheap plan (§4.2.5's
+    // "fooled optimizer" failure mode). Probe rounds pass unguarded.
+    if (config_.optimizer_feedback &&
+        rounds_ % config_.feedback_probe_period != 0) {
+      int64_t full_count = 0;
+      for (uint8_t d : plan_) full_count += d;
+      const bool has_cheap = full_count < sites_k_;
+      if (has_cheap && class_cost_count_[0] > 0 &&
+          class_cost_count_[1] > 0 &&
+          class_cost_ewma_[1] >
+              config_.feedback_margin * class_cost_ewma_[0]) {
+        plan_.assign(static_cast<size_t>(sites_k_), 1);
+        ++cheap_overrides_;
+      }
+    }
+  } else {
+    plan_.assign(static_cast<size_t>(sites_k_), 1);
+  }
+
+  const int64_t full_words = static_cast<int64_t>(query_->dimension());
+  for (int i = 0; i < sites_k_; ++i) {
+    FgmSite& site = sites_[static_cast<size_t>(i)];
+    if (plan_[static_cast<size_t>(i)]) {
+      // Ship E; the site reconstructs φ from it (§2.4 step 1).
+      network_.Upstream(i, MsgKind::kSafeZone, full_words);
+      site.BeginRound(safe_fn_.get());
+      ++full_function_ships_;
+    } else {
+      // Ship the 3-word cheap bound (§4.2.1).
+      network_.Upstream(i, MsgKind::kSafeZone,
+                        CheapBoundFunction::kShippingWords);
+      site.BeginRound(cheap_fn_.get());
+    }
+    ++total_function_ships_;
+    round_drift_[static_cast<size_t>(i)].SetZero();
+  }
+
+  balance_.SetZero();
+  lambda_ = 1.0;
+  psi_b_ = 0.0;
+
+  // Initially ψ = kφ(0) (both φ and b share the value at zero).
+  StartSubround(static_cast<double>(sites_k_) * phi_zero_);
+}
+
+void FgmProtocol::StartSubround(double psi_total) {
+  FGM_CHECK_LT(psi_total, 0.0);
+  last_psi_ = psi_total;
+  const double quantum = -psi_total / (2.0 * static_cast<double>(sites_k_));
+  network_.Broadcast(MsgKind::kQuantum, 1);
+  for (FgmSite& site : sites_) site.BeginSubround(quantum);
+  counter_total_ = 0;
+  ++subrounds_;
+  ++subrounds_this_round_;
+  FGM_CHECK_LE(subrounds_this_round_, config_.max_subrounds_per_round);
+}
+
+void FgmProtocol::PollAndAdvance() {
+  // Collect all φ(X_i): k one-word poll requests + k one-word replies.
+  double psi = 0.0;
+  double delta_psi = 0.0;  // Δψ_n of §2.5.1: Σ_i (sup Φ_i,n - inf Φ_i,n)
+  for (int i = 0; i < sites_k_; ++i) {
+    network_.Upstream(i, MsgKind::kControl, 1);
+    network_.Downstream(i, MsgKind::kPhiValue, 1);
+    psi += sites_[static_cast<size_t>(i)].CurrentValue();
+    delta_psi += sites_[static_cast<size_t>(i)].SubroundValueRange();
+  }
+  last_psi_ = psi + psi_b_;
+  if (last_psi_ != 0.0) {
+    psi_variability_ += delta_psi / std::fabs(last_psi_);
+  }
+  const double stop_level =
+      config_.eps_psi * static_cast<double>(sites_k_) * phi_zero_;
+  if (last_psi_ >= stop_level) {
+    // Subrounds exhausted for this safe function / scale.
+    if (config_.rebalance) {
+      TryRebalance();
+    } else {
+      EndRound(/*already_flushed=*/false);
+    }
+  } else if (CheapRoundOverBudget()) {
+    // A mispredicted cheap plan is burning subround overhead; cut the
+    // round so the feedback guard can redirect the next one.
+    EndRound(/*already_flushed=*/false);
+  } else {
+    StartSubround(last_psi_);
+  }
+}
+
+bool FgmProtocol::CheapRoundOverBudget() const {
+  if (!config_.optimizer || !config_.optimizer_feedback) return false;
+  int64_t full_count = 0;
+  for (uint8_t d : plan_) full_count += d;
+  if (full_count >= sites_k_) return false;
+  const double k = static_cast<double>(sites_k_);
+  const double full_round_words =
+      k * static_cast<double>(query_->dimension()) +
+      (3.0 * k + 1.0) * std::log2(1.0 / config_.eps_psi) + 4.0 * k;
+  const double spent = static_cast<double>(
+      network_.stats().total_words() - round_start_words_);
+  return spent > config_.feedback_budget_factor * full_round_words;
+}
+
+void FgmProtocol::FlushAllSites() {
+  const int64_t full_words = static_cast<int64_t>(query_->dimension());
+  for (int i = 0; i < sites_k_; ++i) {
+    FgmSite& site = sites_[static_cast<size_t>(i)];
+    network_.Upstream(i, MsgKind::kControl, 1);  // flush request
+    const int64_t n = site.updates_since_flush();
+    if (n > 0) {
+      // The site ships either the dense drift or the raw updates,
+      // whichever is smaller, plus its update count (§2.1, §4.2.4).
+      network_.Downstream(i, MsgKind::kDriftFlush,
+                          std::min(full_words, n) + 1);
+      balance_ += site.drift();
+      round_drift_[static_cast<size_t>(i)] += site.drift();
+      site.FlushReset();
+    } else {
+      // Empty-stream sites only acknowledge (≈0 cost, §5.4).
+      network_.Downstream(i, MsgKind::kDriftFlush, 1);
+    }
+  }
+}
+
+double FgmProtocol::FindMuStar() const {
+  // g(µ) = φ(B/(µk)) is monotone along the ray (φ convex, φ(0) < 0):
+  // {µ : g(µ) ≤ 0} = [µ*, ∞). Bisection on [lo, 1].
+  if (balance_.Norm() == 0.0) return 0.0;
+  const double k = static_cast<double>(sites_k_);
+  RealVector scaled(balance_.dim());
+  auto g = [&](double mu) {
+    scaled = balance_;
+    scaled *= 1.0 / (mu * k);
+    return safe_fn_->Eval(scaled);
+  };
+  if (g(1.0) >= 0.0) return 1.0;
+  double lo = 1e-6, hi = 1.0;
+  if (g(lo) < 0.0) return 0.0;  // B/k direction never leaves the zone
+  const double tol = config_.bisection_tol * std::fabs(phi_zero_);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double v = g(mid);
+    if (v < 0.0) {
+      hi = mid;
+      if (v > -tol) break;
+    } else {
+      lo = mid;
+    }
+  }
+  // Return the safe side (g(hi) ≤ 0 so ψ_B ≤ 0).
+  return hi;
+}
+
+void FgmProtocol::TryRebalance() {
+  // Rebalancing buys longer rounds at the price of extra subround
+  // overhead; when the next round's zone shipping is nearly free (e.g.
+  // the optimizer chose cheap bounds everywhere), ending the round is
+  // cheaper than stretching it.
+  double plan_words = 0.0;
+  for (int i = 0; i < sites_k_; ++i) {
+    plan_words += plan_[static_cast<size_t>(i)]
+                      ? static_cast<double>(query_->dimension())
+                      : CheapBoundFunction::kShippingWords;
+  }
+  if (plan_words / static_cast<double>(sites_k_) <
+      config_.rebalance_min_words_per_site) {
+    EndRound(/*already_flushed=*/false);
+    return;
+  }
+  FlushAllSites();
+  const double k = static_cast<double>(sites_k_);
+  const double mu = FindMuStar();
+  const double lambda = 1.0 - mu;
+  if (lambda < config_.min_lambda) {
+    EndRound(/*already_flushed=*/true);
+    return;
+  }
+  // ψ_B = µkφ(B/(µk)) ≤ 0 by the bisection's choice of µ.
+  if (mu > 0.0) {
+    RealVector scaled = balance_;
+    scaled *= 1.0 / (mu * k);
+    psi_b_ = mu * k * safe_fn_->Eval(scaled);
+    FGM_CHECK_LE(psi_b_, 0.0);
+  } else {
+    psi_b_ = 0.0;
+  }
+  lambda_ = lambda;
+  // All drifts are zero after the flush, so ψ = Σλφ(0) = kλφ(0).
+  const double psi = k * lambda_ * phi_zero_;
+  const double stop_level = config_.eps_psi * k * phi_zero_;
+  if (psi + psi_b_ <= stop_level) {
+    ++rebalances_;
+    network_.Broadcast(MsgKind::kLambda, 1);
+    for (FgmSite& site : sites_) site.SetLambda(lambda_);
+    StartSubround(psi + psi_b_);
+  } else {
+    EndRound(/*already_flushed=*/true);
+  }
+}
+
+void FgmProtocol::EndRound(bool already_flushed) {
+  if (!already_flushed) FlushAllSites();
+
+  // Derive the FGM/O rate estimates from this round's observations.
+  if (config_.optimizer) {
+    std::vector<double> phi_end(static_cast<size_t>(sites_k_));
+    std::vector<double> drift_norm(static_cast<size_t>(sites_k_));
+    std::vector<int64_t> site_updates(static_cast<size_t>(sites_k_));
+    int64_t tau = 0;
+    // The cheap bound is b(x) = L‖x‖ + φ(0) (Eq. 17 with the Lipschitz
+    // factor made explicit), so its growth rate scales with L.
+    const double lipschitz = cheap_fn_->LipschitzBound();
+    for (int i = 0; i < sites_k_; ++i) {
+      const RealVector& x = round_drift_[static_cast<size_t>(i)];
+      phi_end[static_cast<size_t>(i)] = safe_fn_->Eval(x);
+      drift_norm[static_cast<size_t>(i)] = lipschitz * x.Norm();
+      site_updates[static_cast<size_t>(i)] =
+          sites_[static_cast<size_t>(i)].updates_in_round();
+      tau += site_updates[static_cast<size_t>(i)];
+    }
+    if (tau > 0) {
+      if (have_rates_) {
+        older_rates_ = std::move(prev_rates_);
+        have_older_rates_ = true;
+      }
+      prev_rates_ =
+          EstimateSiteRates(phi_zero_, phi_end, drift_norm, site_updates);
+      have_rates_ = true;
+    }
+  }
+
+  // E absorbs the total drift of the round: E += B/k.
+  estimate_.Axpy(1.0 / static_cast<double>(sites_k_), balance_);
+  StartRound();
+}
+
+int64_t FgmProtocol::SubroundWords() const {
+  const TrafficStats& t = network_.stats();
+  // Quantum broadcast (k), φ-value replies (k) and counter increments
+  // (≤ k+1) — the paper's 3k+1 words per subround. Poll/flush requests
+  // are charged as kControl and excluded here.
+  return t.words_by_kind[static_cast<size_t>(MsgKind::kQuantum)] +
+         t.words_by_kind[static_cast<size_t>(MsgKind::kCounter)] +
+         t.words_by_kind[static_cast<size_t>(MsgKind::kPhiValue)];
+}
+
+double FgmProtocol::mean_full_function_fraction() const {
+  if (total_function_ships_ == 0) return 0.0;
+  return static_cast<double>(full_function_ships_) /
+         static_cast<double>(total_function_ships_);
+}
+
+}  // namespace fgm

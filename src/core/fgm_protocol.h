@@ -1,0 +1,148 @@
+// The Functional Geometric Monitoring protocol (paper §2.4, §4.1, §4.2).
+//
+// Rounds: the coordinator knows E = S at the start of a round, builds the
+// (A, E, k)-safe function φ via the query, and ships it (or the 3-word
+// cheap bound, under the FGM/O optimizer) to every site. The round
+// monitors ψ = Σ_i φ(X_i) ≤ 0 through subrounds with quantum θ = -ψ/2k
+// and per-site counters; when the global counter exceeds k the
+// coordinator polls all φ-values and either starts another subround,
+// rebalances (flush drifts into the balance vector B, rescale by λ), or
+// ends the round by folding the collected drift into E.
+//
+// The simulation is synchronous: message handling happens inline, with
+// every word that the real protocol would transmit charged to SimNetwork.
+
+#ifndef FGM_CORE_FGM_PROTOCOL_H_
+#define FGM_CORE_FGM_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fgm_config.h"
+#include "core/fgm_site.h"
+#include "core/optimizer.h"
+#include "net/network.h"
+#include "net/protocol.h"
+#include "query/query.h"
+#include "safezone/cheap_bound.h"
+#include "safezone/safe_function.h"
+#include "util/stats.h"
+
+namespace fgm {
+
+class FgmProtocol : public MonitoringProtocol {
+ public:
+  /// `query` must outlive the protocol.
+  FgmProtocol(const ContinuousQuery* query, int num_sites, FgmConfig config);
+
+  std::string name() const override;
+  void ProcessRecord(const StreamRecord& record) override;
+  const RealVector& GlobalEstimate() const override { return estimate_; }
+  double Estimate() const override { return query_value_; }
+  ThresholdPair CurrentThresholds() const override { return thresholds_; }
+  const TrafficStats& traffic() const override { return network_.stats(); }
+  int64_t rounds() const override { return rounds_; }
+  bool BoundsCertified() const override { return counter_total_ <= sites_k_; }
+
+  int64_t subrounds() const { return subrounds_; }
+  int64_t rebalances() const { return rebalances_; }
+  /// Histogram of subrounds per completed round (§2.5.1 observation).
+  const CountHistogram& subrounds_per_round() const {
+    return subround_histogram_;
+  }
+  /// Fraction of sites given the full safe function, averaged over rounds
+  /// (diagnostics for the FGM/O optimizer).
+  double mean_full_function_fraction() const;
+  const FgmConfig& config() const { return config_; }
+
+  /// Current ψ + ψ_B as known to the coordinator after the last poll
+  /// (testing hook).
+  double last_psi() const { return last_psi_; }
+
+  /// Accumulated ψ-variability V = Σ_n |Δψ_n|/|ψ_n| over all completed
+  /// subrounds (§2.5.1). Theorem 2.7 bounds the total subround traffic by
+  /// (9k+3)·V words; see SubroundWords().
+  double psi_variability() const { return psi_variability_; }
+
+  /// Words spent on subround machinery so far (quanta, counters,
+  /// φ-value polls).
+  int64_t SubroundWords() const;
+
+  /// How often the feedback guard replaced a cheap plan with the all-full
+  /// plan (diagnostics).
+  int64_t cheap_plan_overrides() const { return cheap_overrides_; }
+
+ private:
+  void StartRound();
+  void StartSubround(double psi_total);
+  void PollAndAdvance();
+  void TryRebalance();
+  void EndRound(bool already_flushed);
+  /// True when a mostly-cheap round has outspent its budget (see
+  /// FgmConfig::feedback_budget_factor).
+  bool CheapRoundOverBudget() const;
+  void FlushAllSites();
+  /// Bisection for µ* = inf{µ : φ(B/(µk)) ≥ 0}; returns a value in [0, 1],
+  /// or 1 when even µ = 1 fails.
+  double FindMuStar() const;
+
+  const ContinuousQuery* query_;
+  int sites_k_;
+  FgmConfig config_;
+  SimNetwork network_;
+
+  RealVector estimate_;  // E
+  double query_value_ = 0.0;
+  ThresholdPair thresholds_{0.0, 0.0};
+
+  std::unique_ptr<SafeFunction> safe_fn_;
+  std::unique_ptr<CheapBoundFunction> cheap_fn_;
+  double phi_zero_ = -1.0;
+
+  std::vector<FgmSite> sites_;
+  std::vector<uint8_t> plan_;  // d_i of the optimizer (1 = full function)
+
+  // Rebalancing state (§4.1).
+  RealVector balance_;  // B
+  double lambda_ = 1.0;
+  double psi_b_ = 0.0;
+
+  // Subround tracking.
+  int64_t counter_total_ = 0;  // c
+  double last_psi_ = 0.0;
+  int64_t subrounds_this_round_ = 0;
+  double psi_variability_ = 0.0;
+
+  // Optimizer inputs gathered during the round.
+  std::vector<RealVector> round_drift_;  // coordinator-side per-site Σflushes
+  bool have_rates_ = false;
+  std::vector<SiteRates> prev_rates_;
+  bool have_older_rates_ = false;
+  std::vector<SiteRates> older_rates_;  // for second-order extrapolation
+  mutable std::vector<SiteRates> scratch_rates_;
+
+  // Optimizer feedback guard: measured words/update of mostly-full vs
+  // mostly-cheap rounds (EWMA), see FgmConfig::optimizer_feedback.
+  int64_t round_start_words_ = 0;
+  int64_t round_start_updates_ = 0;
+  int64_t total_updates_ = 0;
+  double class_cost_ewma_[2] = {0.0, 0.0};  // [0]=mostly full, [1]=cheap
+  int64_t class_cost_count_[2] = {0, 0};
+  int64_t cheap_overrides_ = 0;
+
+  // Statistics.
+  int64_t rounds_ = 0;
+  int64_t subrounds_ = 0;
+  int64_t rebalances_ = 0;
+  CountHistogram subround_histogram_{64};
+  int64_t full_function_ships_ = 0;
+  int64_t total_function_ships_ = 0;
+
+  std::vector<CellUpdate> delta_scratch_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_CORE_FGM_PROTOCOL_H_

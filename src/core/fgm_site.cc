@@ -1,0 +1,55 @@
+#include "core/fgm_site.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fgm {
+
+void FgmSite::BeginRound(const SafeFunction* fn) {
+  FGM_CHECK(fn != nullptr);
+  evaluator_ = fn->MakeEvaluator();
+  lambda_ = 1.0;
+  quantum_ = 1.0;
+  z_ = 0.0;
+  counter_ = 0;
+  updates_since_flush_ = 0;
+  updates_in_round_ = 0;
+}
+
+void FgmSite::BeginSubround(double quantum) {
+  FGM_CHECK_GT(quantum, 0.0);
+  quantum_ = quantum;
+  z_ = CurrentValue();
+  value_min_ = z_;
+  value_max_ = z_;
+  counter_ = 0;
+}
+
+int64_t FgmSite::ApplyUpdate(const std::vector<CellUpdate>& deltas) {
+  for (const CellUpdate& u : deltas) {
+    evaluator_->ApplyDelta(u.index, u.delta);
+  }
+  ++updates_since_flush_;
+  ++updates_in_round_;
+  const double v = CurrentValue();
+  if (v < value_min_) value_min_ = v;
+  if (v > value_max_) value_max_ = v;
+  const double steps = std::floor((v - z_) / quantum_);
+  // Counters only move up (max in the paper's update rule); a site whose
+  // φ-value recedes stays silent.
+  if (steps > static_cast<double>(counter_)) {
+    const int64_t candidate = static_cast<int64_t>(steps);
+    const int64_t increment = candidate - counter_;
+    counter_ = candidate;
+    return increment;
+  }
+  return 0;
+}
+
+void FgmSite::FlushReset() {
+  evaluator_->Reset();
+  updates_since_flush_ = 0;
+}
+
+}  // namespace fgm

@@ -1,0 +1,73 @@
+// FGM local-site state machine (§2.4, steps executed at sites).
+//
+// A site holds its drift vector X_i inside a DriftEvaluator for the safe
+// function it was shipped this round (the full φ or the cheap bound b),
+// tracks its φ-value, and raises counter increments
+//     c_i := max{c_i, ⌊(φ(X_i) - z_i)/θ⌋}
+// during subrounds. With rebalancing active the site monitors the
+// perspective λφ(X_i/λ) instead (§4.1).
+
+#ifndef FGM_CORE_FGM_SITE_H_
+#define FGM_CORE_FGM_SITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "safezone/safe_function.h"
+#include "sketch/fast_agms.h"
+
+namespace fgm {
+
+class FgmSite {
+ public:
+  explicit FgmSite(int id) : id_(id) {}
+
+  int id() const { return id_; }
+
+  /// Installs the safe function for a new round; drift resets to 0.
+  void BeginRound(const SafeFunction* fn);
+
+  /// Starts a subround with quantum θ > 0: records z_i, resets c_i.
+  void BeginSubround(double quantum);
+
+  /// Installs a new rebalancing scale.
+  void SetLambda(double lambda) { lambda_ = lambda; }
+
+  /// Applies the deltas of one local stream update and returns the
+  /// counter increment to report (0 = stay silent).
+  int64_t ApplyUpdate(const std::vector<CellUpdate>& deltas);
+
+  /// The value the site currently reports: λφ(X_i/λ).
+  double CurrentValue() const { return evaluator_->ValueAtScale(lambda_); }
+
+  /// Range (sup - inf) of the reported value during the current subround
+  /// — the site's contribution to the ψ-variability of §2.5.1.
+  double SubroundValueRange() const { return value_max_ - value_min_; }
+
+  /// The current drift vector (flushed to the coordinator).
+  const RealVector& drift() const { return evaluator_->drift(); }
+
+  /// Resets the drift to 0 after a flush; keeps round bookkeeping.
+  void FlushReset();
+
+  int64_t updates_since_flush() const { return updates_since_flush_; }
+  int64_t updates_in_round() const { return updates_in_round_; }
+  int64_t counter() const { return counter_; }
+
+ private:
+  int id_;
+  std::unique_ptr<DriftEvaluator> evaluator_;
+  double lambda_ = 1.0;
+  double quantum_ = 1.0;
+  double z_ = 0.0;
+  double value_min_ = 0.0;
+  double value_max_ = 0.0;
+  int64_t counter_ = 0;
+  int64_t updates_since_flush_ = 0;
+  int64_t updates_in_round_ = 0;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_CORE_FGM_SITE_H_

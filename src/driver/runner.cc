@@ -1,0 +1,163 @@
+#include "driver/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "baseline/central.h"
+#include "core/fgm_config.h"
+#include "query/quantile.h"
+#include "query/variance.h"
+#include "core/fgm_protocol.h"
+#include "gm/gm_protocol.h"
+#include "stream/window.h"
+#include "util/check.h"
+
+namespace fgm {
+
+const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kCentral:
+      return "CENTRAL";
+    case ProtocolKind::kGm:
+      return "GM";
+    case ProtocolKind::kFgmBasic:
+      return "FGM-basic";
+    case ProtocolKind::kFgm:
+      return "FGM";
+    case ProtocolKind::kFgmOpt:
+      return "FGM/O";
+  }
+  return "?";
+}
+
+std::unique_ptr<ContinuousQuery> MakeQuery(const RunConfig& config) {
+  switch (config.query) {
+    case QueryKind::kSelfJoin: {
+      auto projection = std::make_shared<const AgmsProjection>(
+          config.depth, config.width, config.sketch_seed);
+      return std::make_unique<SelfJoinQuery>(projection, config.epsilon,
+                                             config.threshold_floor);
+    }
+    case QueryKind::kJoin: {
+      auto projection = std::make_shared<const AgmsProjection>(
+          config.depth, config.width, config.sketch_seed);
+      return std::make_unique<JoinQuery>(projection, config.epsilon,
+                                         config.threshold_floor);
+    }
+    case QueryKind::kFpNorm: {
+      const auto mode = config.fp_two_sided
+                            ? FpNormQuery::Mode::kTwoSided
+                            : FpNormQuery::Mode::kMonotoneUpper;
+      return std::make_unique<FpNormQuery>(config.fp_dimension, config.fp_p,
+                                           config.epsilon, mode,
+                                           config.threshold_floor);
+    }
+    case QueryKind::kVariance:
+      return std::make_unique<VarianceQuery>(config.epsilon);
+    case QueryKind::kQuantile:
+      return std::make_unique<QuantileQuery>(config.quantile_buckets,
+                                             config.quantile_phi,
+                                             config.epsilon);
+  }
+  FGM_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<MonitoringProtocol> MakeProtocol(
+    const RunConfig& config, const ContinuousQuery* query) {
+  switch (config.protocol) {
+    case ProtocolKind::kCentral:
+      return std::make_unique<CentralProtocol>(query, config.sites);
+    case ProtocolKind::kGm: {
+      GmConfig gm;
+      return std::make_unique<GmProtocol>(query, config.sites, gm);
+    }
+    case ProtocolKind::kFgmBasic: {
+      FgmConfig fgm;
+      fgm.rebalance = false;
+      return std::make_unique<FgmProtocol>(query, config.sites, fgm);
+    }
+    case ProtocolKind::kFgm: {
+      FgmConfig fgm;
+      return std::make_unique<FgmProtocol>(query, config.sites, fgm);
+    }
+    case ProtocolKind::kFgmOpt: {
+      FgmConfig fgm;
+      fgm.optimizer = true;
+      return std::make_unique<FgmProtocol>(query, config.sites, fgm);
+    }
+  }
+  FGM_CHECK(false);
+  return nullptr;
+}
+
+RunResult Run(const RunConfig& config,
+              const std::vector<StreamRecord>& trace) {
+  const auto start = std::chrono::steady_clock::now();
+
+  std::unique_ptr<ContinuousQuery> query = MakeQuery(config);
+  std::unique_ptr<MonitoringProtocol> protocol =
+      MakeProtocol(config, query.get());
+
+  // Exact ground-truth state, maintained only when verification is on.
+  const bool verify = config.check_every > 0;
+  RealVector truth(query->dimension());
+  const double inv_k = 1.0 / static_cast<double>(config.sites);
+  std::vector<CellUpdate> deltas;
+
+  RunResult result;
+  result.protocol_name = protocol->name();
+  result.query_name = query->name();
+
+  SlidingWindowStream time_events(&trace, config.window_seconds);
+  CountWindowStream count_events(&trace,
+                                 std::max<int64_t>(config.count_window, 1));
+  const bool use_count = config.count_window > 0;
+  auto next_event = [&]() {
+    return use_count ? count_events.Next() : time_events.Next();
+  };
+  int64_t n = 0;
+  while (const StreamRecord* rec = next_event()) {
+    protocol->ProcessRecord(*rec);
+    ++n;
+    if (verify) {
+      deltas.clear();
+      query->MapRecord(*rec, &deltas);
+      for (const CellUpdate& u : deltas) truth[u.index] += inv_k * u.delta;
+      if (n % config.check_every == 0 && protocol->BoundsCertified()) {
+        const double q = query->Evaluate(truth);
+        const ThresholdPair t = protocol->CurrentThresholds();
+        const double margin = std::max(0.5 * (t.hi - t.lo), 1e-12);
+        const double overshoot =
+            std::max(std::max(q - t.hi, t.lo - q), 0.0) / margin;
+        result.max_violation = std::max(result.max_violation, overshoot);
+        ++result.checks;
+      }
+    }
+  }
+
+  result.events = n;
+  result.traffic = protocol->traffic();
+  result.rounds = protocol->rounds();
+  result.comm_cost =
+      n > 0 ? static_cast<double>(result.traffic.total_words()) /
+                  static_cast<double>(n)
+            : 0.0;
+  result.upstream_fraction = result.traffic.upstream_fraction();
+  result.final_estimate = protocol->Estimate();
+  if (verify) result.final_truth = query->Evaluate(truth);
+
+  if (auto* fgm = dynamic_cast<FgmProtocol*>(protocol.get())) {
+    result.subrounds = fgm->subrounds();
+    result.rebalances = fgm->rebalances();
+    result.mean_full_function_fraction = fgm->mean_full_function_fraction();
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace fgm

@@ -1,0 +1,113 @@
+// Experiment runner: wires generator → sliding window → protocol, tracks
+// exact ground truth for verification, and reports the paper's metrics.
+
+#ifndef FGM_DRIVER_RUNNER_H_
+#define FGM_DRIVER_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "query/query.h"
+#include "stream/record.h"
+
+namespace fgm {
+
+enum class ProtocolKind {
+  kCentral,   ///< centralizing baseline (the cost normalizer)
+  kGm,        ///< classic GM with safe zones + rebalancing
+  kFgmBasic,  ///< FGM without rebalancing (§2.4 only; ablation)
+  kFgm,       ///< FGM with rebalancing (§4.1) — the paper's "FGM"
+  kFgmOpt,    ///< FGM with rebalancing + cost-based optimizer — "FGM/O"
+};
+
+const char* ProtocolKindName(ProtocolKind kind);
+
+enum class QueryKind {
+  kSelfJoin,  ///< Q1: R ⋈_CID R over one AGMS sketch
+  kJoin,      ///< Q2: σ_HTML(R) ⋈_CID σ_≠HTML(R) over two sketches
+  kFpNorm,    ///< ‖S‖_p of an explicit frequency vector (§3)
+  kVariance,  ///< variance of a numeric attribute (classic GM workload)
+  kQuantile,  ///< p-quantile of a numeric attribute (rank-linear zones)
+};
+
+struct RunConfig {
+  ProtocolKind protocol = ProtocolKind::kFgm;
+  QueryKind query = QueryKind::kSelfJoin;
+
+  int sites = 27;
+
+  // Sketch geometry (D = depth*width for Q1, 2*depth*width for Q2).
+  int depth = 7;
+  int width = 500;
+  uint64_t sketch_seed = 0xA65;
+
+  // F_p query parameters.
+  double fp_p = 2.0;
+  size_t fp_dimension = 1024;
+  bool fp_two_sided = true;
+
+  double epsilon = 0.1;
+  double threshold_floor = 1.0;
+
+  // Quantile query parameters.
+  double quantile_phi = 0.95;
+  int quantile_buckets = 48;
+
+  /// Sliding time window in seconds; <= 0 means cash-register model.
+  double window_seconds = 0.0;
+
+  /// Count-based sliding window (most recent N global records); takes
+  /// precedence over window_seconds when > 0.
+  int64_t count_window = 0;
+
+  /// Verify the monitoring guarantee against exact ground truth every this
+  /// many events (0 = never). Verification is O(D) per check.
+  int64_t check_every = 0;
+};
+
+struct RunResult {
+  std::string protocol_name;
+  std::string query_name;
+  TrafficStats traffic;
+  int64_t rounds = 0;
+  int64_t events = 0;  ///< inserts + window deletes fed to the protocol
+
+  /// Words per streamed update: the paper's normalized "comm.cost"
+  /// (the centralizing baseline costs exactly 1.0).
+  double comm_cost = 0.0;
+  double upstream_fraction = 0.0;
+
+  /// Maximum observed overshoot of the certified bounds, as a fraction of
+  /// the bound margin (0 = guarantee always held at check points).
+  double max_violation = 0.0;
+  int64_t checks = 0;
+
+  double final_estimate = 0.0;
+  double final_truth = 0.0;
+
+  double wall_seconds = 0.0;
+
+  // FGM-specific diagnostics (0 for other protocols).
+  int64_t subrounds = 0;
+  int64_t rebalances = 0;
+  double mean_full_function_fraction = 0.0;
+};
+
+/// Builds the query of `config` (the projection is shared and seeded from
+/// the config, so all protocols in an experiment see the same sketch).
+std::unique_ptr<ContinuousQuery> MakeQuery(const RunConfig& config);
+
+/// Builds the protocol over `query`.
+std::unique_ptr<MonitoringProtocol> MakeProtocol(const RunConfig& config,
+                                                 const ContinuousQuery* query);
+
+/// Runs one experiment over `trace` (already partitioned into
+/// config.sites sites).
+RunResult Run(const RunConfig& config, const std::vector<StreamRecord>& trace);
+
+}  // namespace fgm
+
+#endif  // FGM_DRIVER_RUNNER_H_

@@ -1,0 +1,155 @@
+#include "gm/gm_protocol.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fgm {
+
+void LoadDrift(DriftEvaluator* evaluator, const RealVector& value) {
+  evaluator->Reset();
+  for (size_t i = 0; i < value.dim(); ++i) {
+    if (value[i] != 0.0) evaluator->ApplyDelta(i, value[i]);
+  }
+}
+
+GmProtocol::GmProtocol(const ContinuousQuery* query, int num_sites,
+                       GmConfig config)
+    : query_(query),
+      sites_k_(num_sites),
+      config_(config),
+      network_(num_sites),
+      rng_(config.seed),
+      estimate_(query->dimension()),
+      sites_(static_cast<size_t>(num_sites)) {
+  FGM_CHECK(query != nullptr);
+  FGM_CHECK_GE(num_sites, 1);
+  StartRound();
+}
+
+void GmProtocol::StartRound() {
+  ++full_syncs_;
+  query_value_ = query_->Evaluate(estimate_);
+  thresholds_ = query_->Thresholds(estimate_);
+  safe_fn_ = query_->MakeSafeFunction(estimate_);
+  FGM_CHECK_LT(safe_fn_->AtZero(), 0.0);
+  const int64_t full_words = static_cast<int64_t>(query_->dimension());
+  for (int i = 0; i < sites_k_; ++i) {
+    network_.Upstream(i, MsgKind::kSafeZone, full_words);
+    Site& site = sites_[static_cast<size_t>(i)];
+    site.evaluator = safe_fn_->MakeEvaluator();
+    site.updates_since_known = 0;
+  }
+}
+
+void GmProtocol::ProcessRecord(const StreamRecord& record) {
+  FGM_CHECK(record.site >= 0 && record.site < sites_k_);
+  delta_scratch_.clear();
+  query_->MapRecord(record, &delta_scratch_);
+  Site& site = sites_[static_cast<size_t>(record.site)];
+  for (const CellUpdate& u : delta_scratch_) {
+    site.evaluator->ApplyDelta(u.index, u.delta);
+  }
+  ++site.updates_since_known;
+  if (site.evaluator->Value() > 0.0) {
+    ++violations_;
+    HandleViolation(record.site);
+  }
+}
+
+const RealVector& GmProtocol::CollectDrift(int site_id) {
+  Site& site = sites_[static_cast<size_t>(site_id)];
+  const int64_t full_words = static_cast<int64_t>(query_->dimension());
+  network_.Downstream(site_id, MsgKind::kDriftFlush,
+                      std::min(full_words, site.updates_since_known) + 1);
+  site.updates_since_known = 0;
+  return site.evaluator->drift();
+}
+
+void GmProtocol::HandleViolation(int violator) {
+  const double k = static_cast<double>(sites_k_);
+  const int64_t full_words = static_cast<int64_t>(query_->dimension());
+
+  // The violator reports itself (1 control word) and ships its drift.
+  network_.Downstream(violator, MsgKind::kControl, 1);
+  RealVector sum = CollectDrift(violator);
+  std::vector<int> collected = {violator};
+
+  // Candidate peers ordered by how deep inside the zone they sit: the
+  // coordinator polls the one-word φ-values (k words each way) and
+  // collects from the most-negative sites first, which keeps the
+  // rebalancing set small. Ties/noise are broken by the shuffled base
+  // order, as in the randomized policy of [28].
+  std::vector<int> peers;
+  for (int i = 0; i < sites_k_; ++i) {
+    if (i != violator) peers.push_back(i);
+  }
+  for (size_t i = peers.size(); i > 1; --i) {
+    std::swap(peers[i - 1], peers[rng_.NextBounded(i)]);
+  }
+  if (config_.rebalance) {
+    std::vector<double> phi(static_cast<size_t>(sites_k_), 0.0);
+    for (int i = 0; i < sites_k_; ++i) {
+      if (i == violator) continue;
+      network_.Upstream(i, MsgKind::kControl, 1);
+      network_.Downstream(i, MsgKind::kPhiValue, 1);
+      phi[static_cast<size_t>(i)] =
+          sites_[static_cast<size_t>(i)].evaluator->Value();
+    }
+    std::stable_sort(peers.begin(), peers.end(), [&](int a, int b) {
+      return phi[static_cast<size_t>(a)] < phi[static_cast<size_t>(b)];
+    });
+  }
+
+  RealVector avg(query_->dimension());
+  const double slack_level = config_.slack_margin * safe_fn_->AtZero();
+  auto balanced = [&]() {
+    avg = sum;
+    avg *= 1.0 / static_cast<double>(collected.size());
+    return safe_fn_->Eval(avg) < slack_level;
+  };
+
+  if (config_.rebalance) {
+    size_t next_peer = 0;
+    while (!balanced() && next_peer < peers.size()) {
+      const int peer = peers[next_peer++];
+      network_.Upstream(peer, MsgKind::kControl, 1);  // drift request
+      sum += CollectDrift(peer);
+      collected.push_back(peer);
+    }
+    if (balanced() && collected.size() < static_cast<size_t>(sites_k_)) {
+      // Assign the common average back to the collected sites; the drift
+      // sum (hence the global state) is unchanged. When every site had to
+      // be collected we fall through to the full sync instead, which costs
+      // the same upstream but refreshes the safe zone around the new E.
+      ++partial_rebalances_;
+      for (int site_id : collected) {
+        network_.Upstream(site_id, MsgKind::kSafeZone, full_words);
+        LoadDrift(sites_[static_cast<size_t>(site_id)].evaluator.get(), avg);
+      }
+      return;
+    }
+    // Collect any stragglers for the full sync.
+    while (next_peer < peers.size()) {
+      const int peer = peers[next_peer++];
+      network_.Upstream(peer, MsgKind::kControl, 1);
+      sum += CollectDrift(peer);
+      collected.push_back(peer);
+    }
+  } else {
+    // Without rebalancing, collect everything for the full sync.
+    for (int peer : peers) {
+      network_.Upstream(peer, MsgKind::kControl, 1);
+      sum += CollectDrift(peer);
+      collected.push_back(peer);
+    }
+  }
+
+  // Full synchronization: all drifts are in `sum` (rebalancing exhausted
+  // every site), fold into E and start a new round.
+  FGM_CHECK_EQ(collected.size(), static_cast<size_t>(sites_k_));
+  estimate_.Axpy(1.0 / k, sum);
+  StartRound();
+}
+
+}  // namespace fgm

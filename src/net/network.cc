@@ -1,0 +1,53 @@
+#include "net/network.h"
+
+#include "util/check.h"
+
+namespace fgm {
+
+const char* MsgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kSafeZone:
+      return "safe-zone";
+    case MsgKind::kQuantum:
+      return "quantum";
+    case MsgKind::kLambda:
+      return "lambda";
+    case MsgKind::kCounter:
+      return "counter";
+    case MsgKind::kPhiValue:
+      return "phi-value";
+    case MsgKind::kDriftFlush:
+      return "drift-flush";
+    case MsgKind::kControl:
+      return "control";
+    case MsgKind::kRawUpdate:
+      return "raw-update";
+    case MsgKind::kKindCount:
+      break;
+  }
+  return "unknown";
+}
+
+SimNetwork::SimNetwork(int sites) : sites_(sites) { FGM_CHECK_GE(sites, 1); }
+
+void SimNetwork::Downstream(int site, MsgKind kind, int64_t words) {
+  FGM_CHECK(site >= 0 && site < sites_);
+  FGM_CHECK_GE(words, 0);
+  stats_.downstream_words += words;
+  stats_.downstream_messages += 1;
+  stats_.words_by_kind[static_cast<size_t>(kind)] += words;
+}
+
+void SimNetwork::Upstream(int site, MsgKind kind, int64_t words) {
+  FGM_CHECK(site >= 0 && site < sites_);
+  FGM_CHECK_GE(words, 0);
+  stats_.upstream_words += words;
+  stats_.upstream_messages += 1;
+  stats_.words_by_kind[static_cast<size_t>(kind)] += words;
+}
+
+void SimNetwork::Broadcast(MsgKind kind, int64_t words_per_site) {
+  for (int s = 0; s < sites_; ++s) Upstream(s, kind, words_per_site);
+}
+
+}  // namespace fgm

@@ -1,0 +1,80 @@
+// Simulated star network between k sites and a coordinator, with
+// word-level traffic accounting.
+//
+// Terminology follows the paper (§2.2): *downstream* messages flow from
+// local sites to the coordinator, *upstream* messages from the coordinator
+// to sites. Each message consists of words (one word stores one real
+// number or one counter). Protocols are executed synchronously in the
+// simulation; SimNetwork only records what WOULD have been transmitted,
+// which is the quantity the paper's evaluation measures.
+
+#ifndef FGM_NET_NETWORK_H_
+#define FGM_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace fgm {
+
+/// Message classes, for cost breakdowns.
+enum class MsgKind : int {
+  kSafeZone = 0,   ///< reference vector E / safe-function parameters
+  kQuantum,        ///< subround quantum θ (and ε_ψ bookkeeping)
+  kLambda,         ///< rebalancing scale factor λ
+  kCounter,        ///< subround counter increments
+  kPhiValue,       ///< φ(X_i) values collected at subround end
+  kDriftFlush,     ///< drift vectors (or verbatim updates) to coordinator
+  kControl,        ///< poll/flush requests, violation alerts
+  kRawUpdate,      ///< raw stream records (centralizing / promiscuous mode)
+  kKindCount,
+};
+
+const char* MsgKindName(MsgKind kind);
+
+struct TrafficStats {
+  int64_t upstream_words = 0;
+  int64_t downstream_words = 0;
+  int64_t upstream_messages = 0;
+  int64_t downstream_messages = 0;
+  std::array<int64_t, static_cast<size_t>(MsgKind::kKindCount)>
+      words_by_kind = {};
+
+  int64_t total_words() const { return upstream_words + downstream_words; }
+  int64_t total_messages() const {
+    return upstream_messages + downstream_messages;
+  }
+  double upstream_fraction() const {
+    const int64_t total = total_words();
+    return total > 0 ? static_cast<double>(upstream_words) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(int sites);
+
+  int sites() const { return sites_; }
+
+  /// Records a site → coordinator message.
+  void Downstream(int site, MsgKind kind, int64_t words);
+
+  /// Records a coordinator → site message.
+  void Upstream(int site, MsgKind kind, int64_t words);
+
+  /// Coordinator → every site (k individual messages; no multicast,
+  /// matching the paper's model).
+  void Broadcast(MsgKind kind, int64_t words_per_site);
+
+  const TrafficStats& stats() const { return stats_; }
+
+ private:
+  int sites_;
+  TrafficStats stats_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_NET_NETWORK_H_

@@ -1,0 +1,85 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace fgm {
+
+void WordBuffer::PutVector(const RealVector& v) {
+  for (size_t i = 0; i < v.dim(); ++i) words_.push_back(v[i]);
+}
+
+double WordBuffer::GetReal(size_t index) const {
+  FGM_CHECK_LT(index, words_.size());
+  return words_[index];
+}
+
+int64_t WordBuffer::GetCount(size_t index) const {
+  return static_cast<int64_t>(GetReal(index));
+}
+
+RealVector WordBuffer::GetVector(size_t index, size_t dim) const {
+  FGM_CHECK_LE(index + dim, words_.size());
+  RealVector v(dim);
+  for (size_t i = 0; i < dim; ++i) v[i] = words_[index + i];
+  return v;
+}
+
+void RawUpdateMsg::Encode(WordBuffer* out) const {
+  // A word stores a real number; we pack the 64 update bits through it.
+  uint64_t bits = (static_cast<uint64_t>(key) << 1) |
+                  static_cast<uint64_t>(is_delete);
+  double word;
+  static_assert(sizeof(word) == sizeof(bits));
+  std::memcpy(&word, &bits, sizeof(word));
+  out->PutReal(word);
+}
+
+RawUpdateMsg RawUpdateMsg::Decode(const WordBuffer& in, size_t index) {
+  const double word = in.GetReal(index);
+  uint64_t bits;
+  std::memcpy(&bits, &word, sizeof(bits));
+  RawUpdateMsg msg;
+  msg.key = bits >> 1;
+  msg.is_delete = bits & 1;
+  return msg;
+}
+
+void DriftFlushMsg::Encode(WordBuffer* out) const {
+  // The count's sign flags the representation (counts are nonnegative).
+  out->PutCount(dense ? update_count : -update_count);
+  if (dense) {
+    out->PutVector(drift);
+  } else {
+    for (const RawUpdateMsg& u : raw) u.Encode(out);
+  }
+}
+
+DriftFlushMsg DriftFlushMsg::Decode(const WordBuffer& in, size_t dim) {
+  DriftFlushMsg msg;
+  const int64_t tagged = in.GetCount(0);
+  msg.dense = tagged >= 0;
+  msg.update_count = tagged >= 0 ? tagged : -tagged;
+  if (msg.dense) {
+    msg.drift = in.GetVector(1, dim);
+  } else {
+    msg.raw.reserve(static_cast<size_t>(msg.update_count));
+    for (int64_t i = 0; i < msg.update_count; ++i) {
+      msg.raw.push_back(RawUpdateMsg::Decode(in, 1 + static_cast<size_t>(i)));
+    }
+  }
+  return msg;
+}
+
+int64_t DriftFlushMsg::Words() const {
+  return 1 + (dense ? static_cast<int64_t>(drift.dim())
+                    : static_cast<int64_t>(raw.size()));
+}
+
+int64_t DriftFlushMsg::ChargedWords(size_t dim, int64_t update_count) {
+  return std::min<int64_t>(static_cast<int64_t>(dim), update_count) + 1;
+}
+
+}  // namespace fgm

@@ -1,0 +1,144 @@
+// Wire encodings for the protocol messages.
+//
+// The paper's cost model (§2.2) counts messages in *words*, each wide
+// enough for one real number. This header makes those counts concrete:
+// every message type has an explicit encoding into a word buffer, and the
+// unit tests assert that the encoded sizes equal the analytic word counts
+// the protocols charge to SimNetwork. A deployment on a real transport
+// can serialize exactly these structures.
+//
+// Drift transfers use whichever representation is smaller (§2.1): the
+// dense D-word vector, or the verbatim list of raw updates received since
+// the last flush (one word each, re-projected by the coordinator).
+
+#ifndef FGM_NET_WIRE_H_
+#define FGM_NET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/real_vector.h"
+
+namespace fgm {
+
+/// A sequence of words; one word stores one real number or one counter.
+class WordBuffer {
+ public:
+  size_t size_words() const { return words_.size(); }
+
+  void PutReal(double value) { words_.push_back(value); }
+  void PutCount(int64_t value) {
+    words_.push_back(static_cast<double>(value));
+  }
+  void PutVector(const RealVector& v);
+
+  double GetReal(size_t index) const;
+  int64_t GetCount(size_t index) const;
+  /// Reads `dim` words starting at `index` into a vector.
+  RealVector GetVector(size_t index, size_t dim) const;
+
+ private:
+  std::vector<double> words_;
+};
+
+/// Subround quantum θ (coordinator → site), 1 word.
+struct QuantumMsg {
+  double theta;
+  void Encode(WordBuffer* out) const { out->PutReal(theta); }
+  static QuantumMsg Decode(const WordBuffer& in) {
+    return QuantumMsg{in.GetReal(0)};
+  }
+  static constexpr int64_t kWords = 1;
+};
+
+/// Rebalancing scale λ (coordinator → site), 1 word.
+struct LambdaMsg {
+  double lambda;
+  void Encode(WordBuffer* out) const { out->PutReal(lambda); }
+  static LambdaMsg Decode(const WordBuffer& in) {
+    return LambdaMsg{in.GetReal(0)};
+  }
+  static constexpr int64_t kWords = 1;
+};
+
+/// Counter increment (site → coordinator), 1 word.
+struct CounterMsg {
+  int64_t increment;
+  void Encode(WordBuffer* out) const { out->PutCount(increment); }
+  static CounterMsg Decode(const WordBuffer& in) {
+    return CounterMsg{in.GetCount(0)};
+  }
+  static constexpr int64_t kWords = 1;
+};
+
+/// φ-value reply (site → coordinator), 1 word.
+struct PhiValueMsg {
+  double value;
+  void Encode(WordBuffer* out) const { out->PutReal(value); }
+  static PhiValueMsg Decode(const WordBuffer& in) {
+    return PhiValueMsg{in.GetReal(0)};
+  }
+  static constexpr int64_t kWords = 1;
+};
+
+/// Full safe-zone shipment (coordinator → site): the reference vector E,
+/// from which the site reconstructs φ (§2.4 step 1). D words.
+struct SafeZoneMsg {
+  RealVector reference;
+  void Encode(WordBuffer* out) const { out->PutVector(reference); }
+  static SafeZoneMsg Decode(const WordBuffer& in, size_t dim) {
+    return SafeZoneMsg{in.GetVector(0, dim)};
+  }
+  int64_t Words() const { return static_cast<int64_t>(reference.dim()); }
+};
+
+/// Cheap safe-function shipment (§4.2.1): (p, q, a) — here the Lipschitz
+/// bound, an unused degree slot kept for parity with the paper's (p, q),
+/// and the offset a = φ(0). 3 words.
+struct CheapZoneMsg {
+  double lipschitz;
+  double degree;
+  double offset;
+  void Encode(WordBuffer* out) const {
+    out->PutReal(lipschitz);
+    out->PutReal(degree);
+    out->PutReal(offset);
+  }
+  static CheapZoneMsg Decode(const WordBuffer& in) {
+    return CheapZoneMsg{in.GetReal(0), in.GetReal(1), in.GetReal(2)};
+  }
+  static constexpr int64_t kWords = 3;
+};
+
+/// One raw stream update, shipped verbatim (1 word: the key and sign are
+/// packed; the coordinator re-projects through the shared query).
+struct RawUpdateMsg {
+  uint64_t key : 63;
+  uint64_t is_delete : 1;
+  void Encode(WordBuffer* out) const;
+  static RawUpdateMsg Decode(const WordBuffer& in, size_t index);
+  static constexpr int64_t kWords = 1;
+};
+
+/// Drift flush (site → coordinator): update count plus either the dense
+/// vector or the verbatim updates, whichever is smaller.
+struct DriftFlushMsg {
+  int64_t update_count = 0;
+  bool dense = true;
+  RealVector drift;                      // when dense
+  std::vector<RawUpdateMsg> raw;         // when !dense
+
+  void Encode(WordBuffer* out) const;
+  static DriftFlushMsg Decode(const WordBuffer& in, size_t dim);
+
+  /// Words on the wire: 1 (count, whose sign encodes dense/verbatim) plus
+  /// min(D, update_count).
+  int64_t Words() const;
+
+  /// The representation the protocols charge for: min(D, n) + 1.
+  static int64_t ChargedWords(size_t dim, int64_t update_count);
+};
+
+}  // namespace fgm
+
+#endif  // FGM_NET_WIRE_H_

@@ -1,0 +1,89 @@
+#include "query/heavy_hitters.h"
+
+#include <cmath>
+
+#include "safezone/ball.h"
+#include "safezone/heavy_hitters_sz.h"
+#include "util/check.h"
+
+namespace fgm {
+
+HeavyHitterQuery::HeavyHitterQuery(size_t dimension, double theta,
+                                   double epsilon, double bootstrap_count)
+    : dimension_(dimension),
+      theta_(theta),
+      epsilon_(epsilon),
+      bootstrap_count_(bootstrap_count) {
+  FGM_CHECK_GE(dimension, 2u);
+  FGM_CHECK(theta > 0.0 && theta < 1.0);
+  FGM_CHECK(epsilon > 0.0 && epsilon < theta);
+  FGM_CHECK_GT(bootstrap_count, 0.0);
+}
+
+std::string HeavyHitterQuery::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "heavy-hitters-t%02d",
+                static_cast<int>(theta_ * 100 + 0.5));
+  return buf;
+}
+
+void HeavyHitterQuery::MapRecord(const StreamRecord& record,
+                                 std::vector<CellUpdate>* out) const {
+  out->push_back(CellUpdate{record.cid % dimension_, record.weight});
+}
+
+double HeavyHitterQuery::Evaluate(const RealVector& state) const {
+  const std::vector<uint8_t> report = ReportSet(state);
+  double count = 0.0;
+  for (uint8_t h : report) count += h;
+  return count;
+}
+
+ThresholdPair HeavyHitterQuery::Thresholds(const RealVector&) const {
+  // The guarantee is on the report SET, not on a scalar.
+  return ThresholdPair{-1e300, 1e300};
+}
+
+bool HeavyHitterQuery::Bootstrapping(const RealVector& estimate) const {
+  return estimate.Sum() < bootstrap_count_;
+}
+
+std::vector<uint8_t> HeavyHitterQuery::ReportSet(
+    const RealVector& estimate) const {
+  std::vector<uint8_t> report(dimension_, 0);
+  const double n = estimate.Sum();
+  if (n <= 0.0) return report;
+  const double cut = theta_ * n;
+  for (size_t i = 0; i < dimension_; ++i) {
+    report[i] = estimate[i] >= cut ? 1 : 0;
+  }
+  return report;
+}
+
+bool HeavyHitterQuery::SetIsValidFor(const std::vector<uint8_t>& report,
+                                     const RealVector& state) const {
+  FGM_CHECK_EQ(report.size(), dimension_);
+  const double n = state.Sum();
+  if (n <= 0.0) return true;
+  const double tolerance = 1e-9 * n;
+  for (size_t i = 0; i < dimension_; ++i) {
+    if (report[i]) {
+      if (state[i] < (theta_ - epsilon_) * n - tolerance) return false;
+    } else {
+      if (state[i] > (theta_ + epsilon_) * n + tolerance) return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<SafeFunction> HeavyHitterQuery::MakeSafeFunction(
+    const RealVector& estimate) const {
+  if (Bootstrapping(estimate)) {
+    return std::make_unique<BallSafeFunction>(RealVector(dimension_),
+                                              2.0 * bootstrap_count_);
+  }
+  return std::make_unique<HeavyHitterSafeFunction>(estimate, theta_,
+                                                   epsilon_);
+}
+
+}  // namespace fgm

@@ -1,0 +1,65 @@
+// Heavy-hitter monitoring — the first canonical problem of distributed
+// functional monitoring (paper §1).
+//
+// The state is the frequency histogram of client ids folded into
+// `dimension` buckets. At each round the coordinator publishes the
+// report set H = {buckets with E_i ≥ θ·N_E}; the FGM round then
+// guarantees that H remains an ε-approximate heavy-hitter set of the
+// LIVE stream: every reported bucket keeps frequency ≥ (θ-ε)·N(S) and
+// every unreported one stays ≤ (θ+ε)·N(S). The guarantee is checked by
+// the set semantics (ReportSet / SetIsValidFor), not a scalar interval.
+
+#ifndef FGM_QUERY_HEAVY_HITTERS_H_
+#define FGM_QUERY_HEAVY_HITTERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace fgm {
+
+class HeavyHitterQuery : public ContinuousQuery {
+ public:
+  HeavyHitterQuery(size_t dimension, double theta, double epsilon,
+                   double bootstrap_count = 32.0);
+
+  std::string name() const override;
+  size_t dimension() const override { return dimension_; }
+  void MapRecord(const StreamRecord& record,
+                 std::vector<CellUpdate>* out) const override;
+
+  /// The number of heavy buckets (a scalar diagnostic; the real
+  /// guarantee is the set one below).
+  double Evaluate(const RealVector& state) const override;
+
+  /// The set guarantee has no scalar interval form; the driver's generic
+  /// check is disabled (±inf) and tests use SetIsValidFor instead.
+  ThresholdPair Thresholds(const RealVector& estimate) const override;
+  std::unique_ptr<SafeFunction> MakeSafeFunction(
+      const RealVector& estimate) const override;
+  double epsilon() const override { return epsilon_; }
+
+  /// The report set derived from a reference state.
+  std::vector<uint8_t> ReportSet(const RealVector& estimate) const;
+
+  /// Whether `report` is a valid ε-approximate heavy-hitter set for
+  /// `state`: reported buckets have freq ≥ (θ-ε)N, others ≤ (θ+ε)N.
+  bool SetIsValidFor(const std::vector<uint8_t>& report,
+                     const RealVector& state) const;
+
+  double theta() const { return theta_; }
+
+ private:
+  bool Bootstrapping(const RealVector& estimate) const;
+
+  size_t dimension_;
+  double theta_;
+  double epsilon_;
+  double bootstrap_count_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_QUERY_HEAVY_HITTERS_H_

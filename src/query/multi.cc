@@ -1,0 +1,91 @@
+#include "query/multi.h"
+
+#include "safezone/compose.h"
+#include "safezone/lifted.h"
+#include "util/check.h"
+
+namespace fgm {
+
+MultiQuery::MultiQuery(std::vector<std::unique_ptr<ContinuousQuery>> members)
+    : members_(std::move(members)) {
+  FGM_CHECK(!members_.empty());
+  size_t offset = 0;
+  for (const auto& member : members_) {
+    FGM_CHECK(member != nullptr);
+    offsets_.push_back(offset);
+    offset += member->dimension();
+  }
+  total_dim_ = offset;
+}
+
+std::string MultiQuery::name() const {
+  std::string result = "multi[";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i) result += "+";
+    result += members_[i]->name();
+  }
+  return result + "]";
+}
+
+void MultiQuery::MapRecord(const StreamRecord& record,
+                           std::vector<CellUpdate>* out) const {
+  for (size_t m = 0; m < members_.size(); ++m) {
+    const size_t before = out->size();
+    members_[m]->MapRecord(record, out);
+    for (size_t j = before; j < out->size(); ++j) {
+      (*out)[j].index += offsets_[m];
+    }
+  }
+}
+
+RealVector MultiQuery::MemberSlice(size_t member,
+                                   const RealVector& state) const {
+  FGM_CHECK_LT(member, members_.size());
+  FGM_CHECK_EQ(state.dim(), total_dim_);
+  RealVector slice(members_[member]->dimension());
+  for (size_t i = 0; i < slice.dim(); ++i) {
+    slice[i] = state[offsets_[member] + i];
+  }
+  return slice;
+}
+
+double MultiQuery::Evaluate(const RealVector& state) const {
+  return EvaluateMember(0, state);
+}
+
+double MultiQuery::EvaluateMember(size_t member,
+                                  const RealVector& state) const {
+  return members_[member]->Evaluate(MemberSlice(member, state));
+}
+
+ThresholdPair MultiQuery::Thresholds(const RealVector& estimate) const {
+  return MemberThresholds(0, estimate);
+}
+
+ThresholdPair MultiQuery::MemberThresholds(size_t member,
+                                           const RealVector& estimate) const {
+  return members_[member]->Thresholds(MemberSlice(member, estimate));
+}
+
+std::unique_ptr<SafeFunction> MultiQuery::MakeSafeFunction(
+    const RealVector& estimate) const {
+  std::vector<std::unique_ptr<SafeFunction>> lifted;
+  lifted.reserve(members_.size());
+  for (size_t m = 0; m < members_.size(); ++m) {
+    lifted.push_back(std::make_unique<LiftedSafeFunction>(
+        members_[m]->MakeSafeFunction(MemberSlice(m, estimate)), offsets_[m],
+        total_dim_));
+  }
+  if (lifted.size() == 1) return std::move(lifted[0]);
+  return std::make_unique<MaxComposition>(std::move(lifted));
+}
+
+double MultiQuery::epsilon() const {
+  double eps = members_[0]->epsilon();
+  for (const auto& member : members_) {
+    eps = std::min(eps, member->epsilon());
+  }
+  return eps;
+}
+
+}  // namespace fgm

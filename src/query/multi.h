@@ -1,0 +1,62 @@
+// Simultaneous monitoring of several continuous queries with ONE FGM
+// instance ("one for all and all for one", Lazerson et al. KDD'17, via
+// the composition machinery of Thm 2.2).
+//
+// The combined state is the concatenation of the member queries' states;
+// the combined safe function is the pointwise max of the members' safe
+// functions lifted to the product space, so its admissible region is the
+// intersection of the members'. A single round/subround structure then
+// guarantees every member's (1±ε) bound at once — one set of quanta,
+// counters and drift flushes instead of one per query.
+
+#ifndef FGM_QUERY_MULTI_H_
+#define FGM_QUERY_MULTI_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace fgm {
+
+class MultiQuery : public ContinuousQuery {
+ public:
+  explicit MultiQuery(std::vector<std::unique_ptr<ContinuousQuery>> members);
+
+  std::string name() const override;
+  size_t dimension() const override { return total_dim_; }
+  void MapRecord(const StreamRecord& record,
+                 std::vector<CellUpdate>* out) const override;
+
+  /// The scalar the coordinator reports is the first member's value;
+  /// per-member values come from EvaluateMember.
+  double Evaluate(const RealVector& state) const override;
+  double EvaluateMember(size_t member, const RealVector& state) const;
+
+  /// The combined thresholds are the FIRST member's (each member's own
+  /// bounds are enforced by the safe function; verify per member with
+  /// MemberThresholds).
+  ThresholdPair Thresholds(const RealVector& estimate) const override;
+  ThresholdPair MemberThresholds(size_t member,
+                                 const RealVector& estimate) const;
+
+  std::unique_ptr<SafeFunction> MakeSafeFunction(
+      const RealVector& estimate) const override;
+  double epsilon() const override;
+
+  size_t member_count() const { return members_.size(); }
+  const ContinuousQuery& member(size_t i) const { return *members_[i]; }
+  size_t member_offset(size_t i) const { return offsets_[i]; }
+
+ private:
+  RealVector MemberSlice(size_t member, const RealVector& state) const;
+
+  std::vector<std::unique_ptr<ContinuousQuery>> members_;
+  std::vector<size_t> offsets_;
+  size_t total_dim_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_QUERY_MULTI_H_

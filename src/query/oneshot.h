@@ -1,0 +1,53 @@
+// One-shot threshold queries (paper §2.1): the coordinator monitors for
+// the event Q(S) ≤ T with a fixed threshold T, rather than tracking a
+// close estimate. The admissible region A = {x : Q(x) ≤ T} is fixed for
+// the whole run; FGM keeps monitoring rounds against it until the
+// estimate crosses the alarm level (1-ε)·T, after which the alarm is
+// latched (checked via AlarmRaised on the estimate).
+
+#ifndef FGM_QUERY_ONESHOT_H_
+#define FGM_QUERY_ONESHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "query/query.h"
+#include "safezone/norm_threshold.h"
+
+namespace fgm {
+
+/// One-shot F_p-norm threshold: monitor ‖S‖_p ≤ T over an explicit
+/// frequency vector folded into `dimension` buckets (the §3 one-shot
+/// setting; Thm 3.2 bounds its rounds by O(k^{p-1} log 1/ε)).
+class OneShotFpQuery : public ContinuousQuery {
+ public:
+  OneShotFpQuery(size_t dimension, double p, double threshold,
+                 double epsilon);
+
+  std::string name() const override { return "Fp-oneshot"; }
+  size_t dimension() const override { return dimension_; }
+  void MapRecord(const StreamRecord& record,
+                 std::vector<CellUpdate>* out) const override;
+  double Evaluate(const RealVector& state) const override;
+  ThresholdPair Thresholds(const RealVector& estimate) const override;
+  std::unique_ptr<SafeFunction> MakeSafeFunction(
+      const RealVector& estimate) const override;
+  double epsilon() const override { return epsilon_; }
+
+  double threshold() const { return threshold_; }
+
+  /// True once the estimate has reached the alarm level (1-ε)·T.
+  bool AlarmRaised(double estimate) const {
+    return estimate >= (1.0 - epsilon_) * threshold_;
+  }
+
+ private:
+  size_t dimension_;
+  double p_;
+  double threshold_;
+  double epsilon_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_QUERY_ONESHOT_H_

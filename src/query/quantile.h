@@ -1,0 +1,69 @@
+// Quantile (percentile) monitoring — one of the canonical distributed
+// functional-monitoring problems the paper's introduction cites.
+//
+// The state is the frequency histogram of a numeric attribute over a
+// fixed bucketized domain (dimension = #buckets); the monitored value is
+// the p-quantile bucket: the smallest bucket b whose cumulative count
+// reaches p · N. Both sides of the guarantee are *linear* conditions on
+// the state —
+//     quantile(S) ≥ b_lo  ⇔  prefix_{b_lo-1}(S) - p·N(S) < 0,
+//     quantile(S) ≤ b_hi  ⇔  p·N(S) - prefix_{b_hi}(S) ≤ 0,
+// so the safe zone is just the max-composition of two halfspaces and FGM
+// monitors percentiles with the machinery already in the library. The
+// bounds [b_lo, b_hi] are chosen from the reference E with a rank slack
+// of ε·N on each side (the standard ε-approximate quantile guarantee).
+
+#ifndef FGM_QUERY_QUANTILE_H_
+#define FGM_QUERY_QUANTILE_H_
+
+#include <memory>
+#include <string>
+
+#include "query/query.h"
+
+namespace fgm {
+
+class QuantileQuery : public ContinuousQuery {
+ public:
+  /// Monitors the `phi`-quantile (e.g. 0.5 = median, 0.95) of the
+  /// response-size distribution bucketized into `buckets` buckets of
+  /// geometric width over (0, max_value]. `epsilon` is the rank accuracy
+  /// as a fraction of the stream size N.
+  QuantileQuery(int buckets, double phi, double epsilon,
+                double max_value = 20000.0, double bootstrap_count = 32.0);
+
+  std::string name() const override;
+  size_t dimension() const override { return static_cast<size_t>(buckets_); }
+  void MapRecord(const StreamRecord& record,
+                 std::vector<CellUpdate>* out) const override;
+
+  /// The quantile *bucket index* (comparable against the thresholds).
+  double Evaluate(const RealVector& state) const override;
+
+  /// [b_lo, b_hi]: the bucket-index interval guaranteed for quantile(S).
+  ThresholdPair Thresholds(const RealVector& estimate) const override;
+  std::unique_ptr<SafeFunction> MakeSafeFunction(
+      const RealVector& estimate) const override;
+  double epsilon() const override { return epsilon_; }
+
+  /// The numeric value a bucket index represents (upper edge).
+  double BucketValue(int bucket) const;
+  /// The bucket a value falls into.
+  int BucketOf(double value) const;
+
+ private:
+  bool Bootstrapping(const RealVector& estimate) const;
+  /// Smallest b with Σ_{i<=b} state[i] >= phi·N; buckets_-1 if none.
+  int QuantileBucket(const RealVector& state) const;
+
+  int buckets_;
+  double phi_;
+  double epsilon_;
+  double max_value_;
+  double bootstrap_count_;
+  double log_ratio_;  // geometric bucketization constant
+};
+
+}  // namespace fgm
+
+#endif  // FGM_QUERY_QUANTILE_H_

@@ -1,0 +1,57 @@
+// Variance monitoring — the motivating query of the original Geometric
+// Monitoring paper (Sharfman et al. SIGMOD'06), expressed in this
+// library's query interface.
+//
+// The monitored value is the variance of a numeric attribute of the
+// stream records (here: a synthetic response size derived
+// deterministically from the record, see ResponseSizeOf) over the
+// current window. The linear state is s = (count, Σv, Σv²), so inserts
+// and window deletions are ordinary ±deltas and the global state is the
+// average of local states as usual; the variance V2/n - (V1/n)² is
+// invariant under that 1/k scaling.
+//
+// Cold start: the variance of an empty window is undefined, so while the
+// reference count is below `bootstrap_count` the query monitors a simple
+// drift ball (forcing quick cheap syncs) and reports unbounded
+// thresholds; the real guarantee starts once enough data has been seen.
+
+#ifndef FGM_QUERY_VARIANCE_H_
+#define FGM_QUERY_VARIANCE_H_
+
+#include <memory>
+#include <string>
+
+#include "query/query.h"
+
+namespace fgm {
+
+/// Deterministic synthetic "response size" of a request record, in KB:
+/// type-dependent base size times a heavy-tailed per-client factor.
+double ResponseSizeOf(const StreamRecord& record);
+
+class VarianceQuery : public ContinuousQuery {
+ public:
+  VarianceQuery(double epsilon, double threshold_floor = 1e-3,
+                double bootstrap_count = 32.0);
+
+  std::string name() const override { return "variance"; }
+  size_t dimension() const override { return 3; }
+  void MapRecord(const StreamRecord& record,
+                 std::vector<CellUpdate>* out) const override;
+  double Evaluate(const RealVector& state) const override;
+  ThresholdPair Thresholds(const RealVector& estimate) const override;
+  std::unique_ptr<SafeFunction> MakeSafeFunction(
+      const RealVector& estimate) const override;
+  double epsilon() const override { return epsilon_; }
+
+ private:
+  bool Bootstrapping(const RealVector& estimate) const;
+
+  double epsilon_;
+  double floor_;
+  double bootstrap_count_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_QUERY_VARIANCE_H_

@@ -1,0 +1,42 @@
+// Ball safe function: φ(x) = ‖x + c‖ - r.
+//
+// Its 0-sublevel is the ball of radius r centered at -c; shifted by the
+// reference E (folded into c by the caller), this is the canonical safe
+// function for upper bounds on Euclidean norms, e.g. the paper's
+//     φ⁺_i(x) = ‖x + E[i]‖ - √T⁺
+// per-row self-join condition (§5.1.1) and the F2 upper bound of §3.0.3.
+// Convex and nonexpansive. Preferred over ‖x+c‖² - r² because the
+// first-degree form is level-minimal (Thm 2.5 / Fig. 1).
+
+#ifndef FGM_SAFEZONE_BALL_H_
+#define FGM_SAFEZONE_BALL_H_
+
+#include <memory>
+
+#include "safezone/safe_function.h"
+#include "util/real_vector.h"
+
+namespace fgm {
+
+class BallSafeFunction : public SafeFunction {
+ public:
+  /// φ(x) = ‖x + center‖ - radius. Requires radius > ‖center‖ for
+  /// φ(0) < 0 (checked).
+  BallSafeFunction(RealVector center, double radius);
+
+  size_t dimension() const override { return center_.dim(); }
+  double Eval(const RealVector& x) const override;
+  double AtZero() const override;
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+
+  const RealVector& center() const { return center_; }
+  double radius() const { return radius_; }
+
+ private:
+  RealVector center_;
+  double radius_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_SAFEZONE_BALL_H_

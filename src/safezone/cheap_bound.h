@@ -1,0 +1,48 @@
+// The "cheap" safe function of §4.2.1: b(x) = L·‖x‖ + a.
+//
+// When the full safe function φ is L-Lipschitz (nonexpansive for L = 1),
+//     φ(x) ≤ φ(0) + L‖x‖ = b(x)  with a = φ(0),
+// so b pointwise dominates φ and is therefore safe whenever φ is (safety
+// is monotone under pointwise dominance, §2.3). Crucially b needs only 3
+// words to ship (p, q, a in the paper's notation) instead of the D-word
+// reference vector E — this is what the FGM/O cost-based optimizer
+// exploits to slash upstream costs.
+
+#ifndef FGM_SAFEZONE_CHEAP_BOUND_H_
+#define FGM_SAFEZONE_CHEAP_BOUND_H_
+
+#include <memory>
+
+#include "safezone/safe_function.h"
+
+namespace fgm {
+
+class CheapBoundFunction : public SafeFunction {
+ public:
+  /// b(x) = lipschitz·‖x‖ + offset, offset < 0 (= φ(0) of the dominated
+  /// function).
+  CheapBoundFunction(size_t dimension, double offset, double lipschitz = 1.0);
+
+  /// Builds the cheap bound dominating `fn`.
+  static CheapBoundFunction For(const SafeFunction& fn);
+
+  size_t dimension() const override { return dimension_; }
+  double Eval(const RealVector& x) const override;
+  double AtZero() const override { return offset_; }
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+  double LipschitzBound() const override { return lipschitz_; }
+
+  double offset() const { return offset_; }
+
+  /// Words needed to ship this function (p, q, a of the paper): 3.
+  static constexpr int kShippingWords = 3;
+
+ private:
+  size_t dimension_;
+  double offset_;
+  double lipschitz_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_SAFEZONE_CHEAP_BOUND_H_

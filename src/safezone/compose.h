@@ -1,0 +1,69 @@
+// Safe-function composition (Theorem 2.2).
+//
+// If φ_i is (A_i, E, k)-safe, then
+//   * sup_i φ_i is (∩_i A_i, E, k)-safe — intersections of admissible
+//     regions compose by pointwise max;
+//   * Σ_i φ_i is (∪_i A_i, E, k)-safe (finite families) — unions compose
+//     by pointwise sum.
+//
+// The max composition is the workhorse: two-sided bounds are the
+// intersection of an upper- and a lower-bound region, e.g. the paper's F2
+// function with deletions (§3.0.3):
+//   φ(x) = max{ -ε‖E‖ - x·E/‖E‖,  ‖x+E‖ - (1+ε)‖E‖ }.
+
+#ifndef FGM_SAFEZONE_COMPOSE_H_
+#define FGM_SAFEZONE_COMPOSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "safezone/safe_function.h"
+#include "util/real_vector.h"
+
+namespace fgm {
+
+/// Pointwise maximum of safe functions (intersection of regions).
+class MaxComposition : public SafeFunction {
+ public:
+  explicit MaxComposition(
+      std::vector<std::unique_ptr<SafeFunction>> children);
+
+  size_t dimension() const override;
+  double Eval(const RealVector& x) const override;
+  double AtZero() const override;
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+  double LipschitzBound() const override;
+
+  const std::vector<std::unique_ptr<SafeFunction>>& children() const {
+    return children_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SafeFunction>> children_;
+};
+
+/// Pointwise sum of safe functions (union of regions; finite family).
+class SumComposition : public SafeFunction {
+ public:
+  explicit SumComposition(
+      std::vector<std::unique_ptr<SafeFunction>> children);
+
+  size_t dimension() const override;
+  double Eval(const RealVector& x) const override;
+  double AtZero() const override;
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+  double LipschitzBound() const override;
+
+ private:
+  std::vector<std::unique_ptr<SafeFunction>> children_;
+};
+
+/// Builds the two-sided F2 safe function of §3.0.3 for reference E and
+/// accuracy ε: admissible region (1-ε)‖E‖ ≤ ‖S‖ ≤ (1+ε)‖E‖.
+/// Requires ‖E‖ > 0.
+std::unique_ptr<SafeFunction> MakeF2TwoSided(const RealVector& reference,
+                                             double epsilon);
+
+}  // namespace fgm
+
+#endif  // FGM_SAFEZONE_COMPOSE_H_

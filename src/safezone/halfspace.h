@@ -1,0 +1,41 @@
+// Halfspace safe function: φ(x) = β - n·x with a unit normal n.
+//
+// Its 0-sublevel is the halfspace {x : n·x ≥ β}. With β < 0 this is the
+// paper's safe function for lower bounds via a supporting hyperplane, e.g.
+// the F2 lower bound of §3.0.3:
+//     φ(x) = -ε‖E‖ - x·E/‖E‖,
+// i.e. the halfspace tangent to the ball {‖x+E‖ ≥ (1-ε)‖E‖} at the
+// projection of E. Affine, hence convex; nonexpansive since ‖n‖ = 1.
+
+#ifndef FGM_SAFEZONE_HALFSPACE_H_
+#define FGM_SAFEZONE_HALFSPACE_H_
+
+#include <memory>
+
+#include "safezone/safe_function.h"
+#include "util/real_vector.h"
+
+namespace fgm {
+
+class HalfspaceSafeFunction : public SafeFunction {
+ public:
+  /// φ(x) = offset - normal·x / ‖normal‖. Requires offset < 0 (φ(0) < 0)
+  /// and a nonzero normal; the normal is normalized internally.
+  HalfspaceSafeFunction(RealVector normal, double offset);
+
+  size_t dimension() const override { return normal_.dim(); }
+  double Eval(const RealVector& x) const override;
+  double AtZero() const override { return offset_; }
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+
+  const RealVector& unit_normal() const { return normal_; }
+  double offset() const { return offset_; }
+
+ private:
+  RealVector normal_;  // unit length
+  double offset_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_SAFEZONE_HALFSPACE_H_

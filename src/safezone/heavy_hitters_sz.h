@@ -1,0 +1,70 @@
+// Safe function for heavy-hitter set monitoring.
+//
+// Fix a support threshold θ and slack ε. From the reference histogram E
+// (total mass N_E), the report set is H = {items with E_i ≥ θ·N_E}. The
+// monitored guarantee is the usual ε-approximate one: while quiescent,
+//     every i ∈ H     keeps   S_i ≥ (θ-ε)·N(S), and
+//     every i ∉ H     keeps   S_i ≤ (θ+ε)·N(S),
+// so H stays a valid ε-approximate heavy-hitter set for the live stream.
+//
+// Every condition is linear in the state (N(S) = Σ_j S_j), so the safe
+// function is the max of |H| + |Hᶜ| halfspaces:
+//     heavy i:  f_i(x) = (θ-ε)·N(E+x) - (E_i + x_i),
+//     light i:  f_i(x) = (E_i + x_i) - (θ+ε)·N(E+x),
+// each normalized by its gradient norm (identical within a group). The
+// evaluator maintains the two group maxima incrementally with lazy
+// max-heaps: a delta moves ONE item term and the shared total, so
+// updates are O(log D) amortized instead of O(D).
+
+#ifndef FGM_SAFEZONE_HEAVY_HITTERS_SZ_H_
+#define FGM_SAFEZONE_HEAVY_HITTERS_SZ_H_
+
+#include <memory>
+#include <vector>
+
+#include "safezone/safe_function.h"
+#include "util/real_vector.h"
+
+namespace fgm {
+
+class HeavyHitterSafeFunction : public SafeFunction {
+ public:
+  /// Requires 0 < θ < 1, 0 < ε < θ, and a reference where every item is
+  /// strictly inside its side's condition (guaranteed when H is derived
+  /// from E itself: heavy items have E_i ≥ θN > (θ-ε)N, light ones
+  /// E_i < θN < (θ+ε)N — checked).
+  HeavyHitterSafeFunction(RealVector reference, double theta, double eps);
+
+  size_t dimension() const override { return reference_.dim(); }
+  double Eval(const RealVector& x) const override;
+  double AtZero() const override { return at_zero_; }
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+
+  const std::vector<uint8_t>& heavy() const { return heavy_; }
+  double theta() const { return theta_; }
+  double eps() const { return eps_; }
+
+ private:
+  friend class HeavyHitterEvaluator;
+
+  /// φ from the two group primitives: max over heavy of -(E_i+x_i), max
+  /// over light of (E_i+x_i), and the total drift t = Σx_j. λ-perspective
+  /// supported (all terms are affine).
+  double Compose(double max_heavy_neg, double max_light, double drift_total,
+                 double lambda) const;
+
+  RealVector reference_;
+  double theta_;
+  double eps_;
+  std::vector<uint8_t> heavy_;  // 1 = in the report set H
+  double ref_total_ = 0.0;
+  double heavy_norm_ = 1.0;  // gradient norm of heavy conditions
+  double light_norm_ = 1.0;  // gradient norm of light conditions
+  bool has_heavy_ = false;
+  bool has_light_ = false;
+  double at_zero_ = 0.0;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_SAFEZONE_HEAVY_HITTERS_SZ_H_

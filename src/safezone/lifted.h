@@ -1,0 +1,45 @@
+// Lifting a safe function to a larger product state.
+//
+// Simultaneous monitoring of several queries (cf. Lazerson et al. KDD'17,
+// cited by the paper) concatenates their state vectors; each query's safe
+// function then acts on its own block of coordinates. The lifted
+// functions all share the big dimension, so they compose with max/sum
+// (Thm 2.2) exactly like same-space functions: the admissible region of
+// the max is the intersection of the per-query regions, and
+//   Σ_i max_j φ_j(X_i[block_j]) ≤ 0  ⇒  every query's bound holds.
+
+#ifndef FGM_SAFEZONE_LIFTED_H_
+#define FGM_SAFEZONE_LIFTED_H_
+
+#include <memory>
+
+#include "safezone/safe_function.h"
+
+namespace fgm {
+
+/// φ'(x) = φ(x[offset .. offset+φ.dim)), as a function on R^total_dim.
+class LiftedSafeFunction : public SafeFunction {
+ public:
+  LiftedSafeFunction(std::unique_ptr<SafeFunction> inner, size_t offset,
+                     size_t total_dim);
+
+  size_t dimension() const override { return total_dim_; }
+  double Eval(const RealVector& x) const override;
+  double AtZero() const override { return inner_->AtZero(); }
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+  double LipschitzBound() const override {
+    return inner_->LipschitzBound();
+  }
+
+  size_t offset() const { return offset_; }
+  const SafeFunction& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<SafeFunction> inner_;
+  size_t offset_;
+  size_t total_dim_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_SAFEZONE_LIFTED_H_

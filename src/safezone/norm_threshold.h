@@ -1,0 +1,45 @@
+// ℓp-norm threshold safe function: φ(x) = ‖x + E‖_p - T.
+//
+// This is the safe function of the paper's §3 (complexity results for F_p
+// moments): the F_p moment of a frequency vector S is ‖S‖_p^p, and
+// selecting the un-raised norm form yields the better (level-minimal)
+// quiescent region while matching the asymptotics. Convex for p ≥ 1.
+//
+// Lipschitz: w.r.t. the Euclidean norm, ‖v‖_p ≤ ‖v‖_2 for p ≥ 2 (so
+// nonexpansive), while for 1 ≤ p < 2 the constant is D^{1/p - 1/2}.
+
+#ifndef FGM_SAFEZONE_NORM_THRESHOLD_H_
+#define FGM_SAFEZONE_NORM_THRESHOLD_H_
+
+#include <memory>
+
+#include "safezone/safe_function.h"
+#include "util/real_vector.h"
+
+namespace fgm {
+
+class LpNormThreshold : public SafeFunction {
+ public:
+  /// φ(x) = ‖x + reference‖_p - threshold. Requires p >= 1 and
+  /// ‖reference‖_p < threshold (so φ(0) < 0).
+  LpNormThreshold(RealVector reference, double p, double threshold);
+
+  size_t dimension() const override { return reference_.dim(); }
+  double Eval(const RealVector& x) const override;
+  double AtZero() const override;
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+  double LipschitzBound() const override;
+
+  const RealVector& reference() const { return reference_; }
+  double p() const { return p_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  RealVector reference_;
+  double p_;
+  double threshold_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_SAFEZONE_NORM_THRESHOLD_H_

@@ -1,0 +1,21 @@
+#include "safezone/safe_function.h"
+
+#include "util/check.h"
+
+namespace fgm {
+
+double PerspectiveEval(const SafeFunction& fn, const RealVector& x,
+                       double lambda) {
+  FGM_CHECK_GT(lambda, 0.0);
+  FGM_CHECK_LE(lambda, 1.0);
+  if (lambda == 1.0) return fn.Eval(x);
+  RealVector scaled = x;
+  scaled *= 1.0 / lambda;
+  return lambda * fn.Eval(scaled);
+}
+
+double NaiveDriftEvaluator::ValueAtScale(double lambda) const {
+  return PerspectiveEval(*fn_, x_, lambda);
+}
+
+}  // namespace fgm

@@ -1,0 +1,81 @@
+// Safe function for the self-join (F2) query over a Fast-AGMS sketch
+// (paper §5.1.1).
+//
+// The monitored condition is
+//     T_lo ≤ Q1(S) = median_i ‖S[i]‖² ≤ T_hi,
+// where S = E + X is the global sketch and S[i] its i-th row. Per-row
+// conditions use the level-minimal first-degree forms:
+//   * upper (‖S[i]‖² ≤ T_hi):  φ⁺_i(x) = ‖x + E[i]‖ - √T_hi   (ball),
+//   * lower (‖S[i]‖² ≥ T_lo):  φ⁻_i(x) = √T_lo - Ê[i]·(E[i]+x)
+//     (halfspace tangent to the ball of radius √T_lo at the projection
+//     of E[i]; vacuous when T_lo ≤ 0 since squared norms are nonnegative).
+// Rows participate on a side only when the reference satisfies the side's
+// condition strictly; the median composition (median_compose.h) combines
+// the rows, and the two sides combine by pointwise max (Thm 2.2).
+//
+// Convex and nonexpansive. The evaluator maintains per-row ‖x_i‖² and
+// x_i·E[i], making updates O(1) per touched cell and evaluations
+// O(subsets), independent of the sketch width.
+
+#ifndef FGM_SAFEZONE_SELFJOIN_SZ_H_
+#define FGM_SAFEZONE_SELFJOIN_SZ_H_
+
+#include <memory>
+#include <vector>
+
+#include "safezone/median_compose.h"
+#include "safezone/safe_function.h"
+#include "sketch/fast_agms.h"
+#include "util/real_vector.h"
+
+namespace fgm {
+
+class SelfJoinSafeFunction : public SafeFunction {
+ public:
+  /// `reference` is the coordinator's estimate sketch E (flattened,
+  /// dimension projection.dimension()); thresholds bound the median of
+  /// row squared norms. Requires odd depth, T_hi > 0, and that the
+  /// reference satisfies T_lo < Q1(E) < T_hi.
+  SelfJoinSafeFunction(std::shared_ptr<const AgmsProjection> projection,
+                       RealVector reference, double t_lo, double t_hi);
+
+  size_t dimension() const override { return reference_.dim(); }
+  double Eval(const RealVector& x) const override;
+  double AtZero() const override { return at_zero_; }
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+
+  double t_lo() const { return t_lo_; }
+  double t_hi() const { return t_hi_; }
+  const RealVector& reference() const { return reference_; }
+  const AgmsProjection& projection() const { return *projection_; }
+
+ private:
+  friend class SelfJoinEvaluator;
+
+  /// Per-row φ values with the perspective scale λ, given the primitives
+  /// q = ‖x_i‖² and dot = x_i·E[i] for a row.
+  double UpperRowValue(int row, double q, double dot, double lambda) const;
+  double LowerRowValue(int row, double dot, double lambda) const;
+
+  /// Composes side values into φ (used by Eval and the evaluator).
+  double ComposeSides(const std::vector<double>& upper_values,
+                      const std::vector<double>& lower_values) const;
+
+  std::shared_ptr<const AgmsProjection> projection_;
+  RealVector reference_;
+  double t_lo_;
+  double t_hi_;
+  double sqrt_t_hi_;
+  double sqrt_t_lo_;  // only meaningful when lower side is active
+
+  std::vector<double> row_norm_;     // ‖E[i]‖ per row
+  std::vector<int> upper_rows_;      // rows with ‖E[i]‖² < T_hi
+  std::vector<int> lower_rows_;      // rows with ‖E[i]‖² > T_lo (if T_lo > 0)
+  MedianComposition upper_;
+  MedianComposition lower_;
+  double at_zero_ = 0.0;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_SAFEZONE_SELFJOIN_SZ_H_

@@ -1,0 +1,116 @@
+#include "safezone/variance_sz.h"
+
+#include <cmath>
+#include <vector>
+
+#include "safezone/compose.h"
+#include "util/check.h"
+
+namespace fgm {
+
+namespace {
+// States with fewer than this many items have undefined variance.
+constexpr double kMinCount = 1e-9;
+// Reported when the drift pushes the count to ~0 (outside the zone; the
+// value is large so the protocol reacts, and safety errs conservative).
+constexpr double kOutOfDomain = 1e30;
+}  // namespace
+
+double VarianceOfState(const RealVector& state) {
+  FGM_CHECK_EQ(state.dim(), 3u);
+  const double n = state[0];
+  if (n <= kMinCount) return 0.0;
+  const double mean = state[1] / n;
+  return state[2] / n - mean * mean;
+}
+
+// ---------------------------------------------------------------------------
+// Lower bound
+// ---------------------------------------------------------------------------
+
+VarianceLowerSafeFunction::VarianceLowerSafeFunction(RealVector reference,
+                                                     double t_lo)
+    : reference_(std::move(reference)), t_lo_(t_lo) {
+  FGM_CHECK_EQ(reference_.dim(), 3u);
+  const double n = reference_[0];
+  FGM_CHECK_GT(n, kMinCount);
+  FGM_CHECK_GT(VarianceOfState(reference_), t_lo);
+  const double v1 = reference_[1];
+  // Gradient of the unnormalized function at the reference.
+  const double g0 = -v1 * v1 / (n * n) + t_lo_;
+  const double g1 = 2.0 * v1 / n;
+  scale_ = std::sqrt(g0 * g0 + g1 * g1 + 1.0);
+}
+
+double VarianceLowerSafeFunction::Eval(const RealVector& x) const {
+  FGM_CHECK_EQ(x.dim(), 3u);
+  const double n = reference_[0] + x[0];
+  if (n <= kMinCount) return kOutOfDomain;
+  const double v1 = reference_[1] + x[1];
+  const double v2 = reference_[2] + x[2];
+  return (v1 * v1 / n + t_lo_ * n - v2) / scale_;
+}
+
+std::unique_ptr<DriftEvaluator> VarianceLowerSafeFunction::MakeEvaluator()
+    const {
+  // The state is 3-dimensional; from-scratch evaluation is O(1) anyway.
+  return std::make_unique<NaiveDriftEvaluator>(this);
+}
+
+double VarianceLowerSafeFunction::LipschitzBound() const {
+  // The quadratic-over-linear term has unbounded gradient; report a
+  // conservative constant so cheap bounds are never competitive.
+  return 1e12;
+}
+
+// ---------------------------------------------------------------------------
+// Upper bound
+// ---------------------------------------------------------------------------
+
+VarianceUpperSafeFunction::VarianceUpperSafeFunction(RealVector reference,
+                                                     double t_hi)
+    : reference_(std::move(reference)), t_hi_(t_hi), w_(3) {
+  FGM_CHECK_EQ(reference_.dim(), 3u);
+  const double n = reference_[0];
+  FGM_CHECK_GT(n, kMinCount);
+  FGM_CHECK_LT(VarianceOfState(reference_), t_hi);
+  const double v1 = reference_[1];
+  // φ(x) = c0 + w·x with the tangent plane of q(V1, n) = V1²/n at E.
+  w_[0] = v1 * v1 / (n * n) - t_hi_;
+  w_[1] = -2.0 * v1 / n;
+  w_[2] = 1.0;
+  c0_ = reference_[2] - t_hi_ * n - v1 * v1 / n;
+  const double norm = w_.Norm();
+  w_ *= 1.0 / norm;
+  c0_ /= norm;
+  FGM_CHECK_LT(c0_, 0.0);
+}
+
+double VarianceUpperSafeFunction::Eval(const RealVector& x) const {
+  FGM_CHECK_EQ(x.dim(), 3u);
+  return c0_ + w_.Dot(x);
+}
+
+std::unique_ptr<DriftEvaluator> VarianceUpperSafeFunction::MakeEvaluator()
+    const {
+  return std::make_unique<NaiveDriftEvaluator>(this);
+}
+
+double VarianceUpperSafeFunction::LipschitzBound() const {
+  return 1.0;  // unit-normal affine function
+}
+
+std::unique_ptr<SafeFunction> MakeVarianceSafeFunction(
+    const RealVector& reference, double t_lo, double t_hi) {
+  std::vector<std::unique_ptr<SafeFunction>> children;
+  children.push_back(
+      std::make_unique<VarianceUpperSafeFunction>(reference, t_hi));
+  if (t_lo > 0.0) {
+    children.push_back(
+        std::make_unique<VarianceLowerSafeFunction>(reference, t_lo));
+  }
+  if (children.size() == 1) return std::move(children[0]);
+  return std::make_unique<MaxComposition>(std::move(children));
+}
+
+}  // namespace fgm

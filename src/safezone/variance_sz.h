@@ -1,0 +1,81 @@
+// Safe functions for variance conditions (the classic motivating query of
+// geometric monitoring, Sharfman et al. SIGMOD'06).
+//
+// The linear state is s = (n, V1, V2) = (count, Σv, Σv²); the variance is
+//     var(s) = V2/n - (V1/n)².
+// Both side conditions reduce to the quadratic-over-linear function
+// q(V1, n) = V1²/n, which is jointly convex on {n > 0} (the perspective
+// of the square):
+//
+//  * lower bound var ≥ T_lo (for T_lo > 0):
+//        φ_lo(x) = [ (V1+x1)²/(n+x0) + T_lo·(n+x0) - (V2+x2) ] / scale
+//    is convex (sum of q, linear, linear) and its 0-sublevel is exactly
+//    the admissible set on {n + x0 > 0};
+//  * upper bound var ≤ T_hi: since V2 - T_hi·n ≤ q(V1, n) defines the
+//    region and q is convex, replacing q by its tangent plane at the
+//    reference gives a halfspace inside the region:
+//        φ_hi(x) = [ (V2+x2) - T_hi(n+x0)
+//                    - (V1²/n + (2V1/n)x1 - (V1²/n²)x0) ] / scale.
+//
+// Both functions are normalized by `scale` (the gradient magnitude at
+// the reference) so their values are commensurate with distances near E;
+// they are not globally nonexpansive (the library reports a conservative
+// Lipschitz bound, so FGM/O falls back to full safe functions).
+
+#ifndef FGM_SAFEZONE_VARIANCE_SZ_H_
+#define FGM_SAFEZONE_VARIANCE_SZ_H_
+
+#include <memory>
+
+#include "safezone/safe_function.h"
+#include "util/real_vector.h"
+
+namespace fgm {
+
+/// φ_lo above: safe for {var(s) ≥ T_lo} around reference E = (n, V1, V2)
+/// with n > 0 and var(E) > T_lo.
+class VarianceLowerSafeFunction : public SafeFunction {
+ public:
+  VarianceLowerSafeFunction(RealVector reference, double t_lo);
+
+  size_t dimension() const override { return 3; }
+  double Eval(const RealVector& x) const override;
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+  double LipschitzBound() const override;
+
+ private:
+  RealVector reference_;
+  double t_lo_;
+  double scale_;
+};
+
+/// φ_hi above: safe for {var(s) ≤ T_hi} around reference E with n > 0 and
+/// var(E) < T_hi.
+class VarianceUpperSafeFunction : public SafeFunction {
+ public:
+  VarianceUpperSafeFunction(RealVector reference, double t_hi);
+
+  size_t dimension() const override { return 3; }
+  double Eval(const RealVector& x) const override;
+  std::unique_ptr<DriftEvaluator> MakeEvaluator() const override;
+  double LipschitzBound() const override;
+
+ private:
+  RealVector reference_;
+  double t_hi_;
+  // Affine form φ(x) = c0 + w·x, precomputed.
+  double c0_;
+  RealVector w_;
+};
+
+/// Variance of a (count, Σv, Σv²) state; 0 when the count is ~0.
+double VarianceOfState(const RealVector& state);
+
+/// The two-sided variance safe function: max(φ_lo, φ_hi), with the lower
+/// side omitted when T_lo ≤ 0 (variance is nonnegative).
+std::unique_ptr<SafeFunction> MakeVarianceSafeFunction(
+    const RealVector& reference, double t_lo, double t_hi);
+
+}  // namespace fgm
+
+#endif  // FGM_SAFEZONE_VARIANCE_SZ_H_

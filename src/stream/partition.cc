@@ -1,0 +1,49 @@
+#include "stream/partition.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "stream/worldcup.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace fgm {
+
+std::vector<StreamRecord> RehashSites(const std::vector<StreamRecord>& trace,
+                                      int k) {
+  FGM_CHECK_GE(k, 1);
+  std::vector<StreamRecord> out = trace;
+  for (StreamRecord& rec : out) {
+    rec.site = static_cast<int32_t>(
+        MixHash64(static_cast<uint64_t>(rec.site)) % static_cast<uint64_t>(k));
+  }
+  return out;
+}
+
+std::vector<StreamRecord> MakeSkewedTrace(
+    const std::vector<StreamRecord>& trace, int sites, int group_size) {
+  FGM_CHECK_GE(group_size, 1);
+  FGM_CHECK_LE(group_size, sites);
+  const std::vector<int64_t> counts = SiteCounts(trace, sites);
+
+  // Rank sites by stream size, descending.
+  std::vector<int> order(static_cast<size_t>(sites));
+  for (int i = 0; i < sites; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return counts[static_cast<size_t>(a)] > counts[static_cast<size_t>(b)];
+  });
+
+  const int hot = order[0];
+  std::vector<bool> redirect(static_cast<size_t>(sites), false);
+  for (int g = 0; g < group_size; ++g) {
+    redirect[static_cast<size_t>(order[static_cast<size_t>(g)])] = true;
+  }
+
+  std::vector<StreamRecord> out = trace;
+  for (StreamRecord& rec : out) {
+    if (redirect[static_cast<size_t>(rec.site)]) rec.site = hot;
+  }
+  return out;
+}
+
+}  // namespace fgm

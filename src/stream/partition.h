@@ -1,0 +1,32 @@
+// Site re-partitioning and skew construction (paper §5.1, §5.4).
+//
+// The paper studies k < 27 by hashing the original 27 site ids onto fewer
+// sites, and studies skew by routing the union of the 8 largest sites'
+// streams to a single "hot" site while the other 7 go empty. In both cases
+// the *global* stream is unchanged — only its distribution across sites
+// moves, which is exactly what these transforms implement.
+
+#ifndef FGM_STREAM_PARTITION_H_
+#define FGM_STREAM_PARTITION_H_
+
+#include <vector>
+
+#include "stream/record.h"
+
+namespace fgm {
+
+/// Maps site ids onto [0, k) by hashing (identity when the trace already
+/// uses at most k sites). Returns a new trace; global stream is unchanged.
+std::vector<StreamRecord> RehashSites(const std::vector<StreamRecord>& trace,
+                                      int k);
+
+/// The paper's skew transform: among `sites` sites, find the 8 with the
+/// largest streams; reroute all of their records to the single largest
+/// ("hot") site. 7 sites end up with empty local streams; the global
+/// stream is identical to the input. `group_size` generalizes the 8.
+std::vector<StreamRecord> MakeSkewedTrace(
+    const std::vector<StreamRecord>& trace, int sites, int group_size = 8);
+
+}  // namespace fgm
+
+#endif  // FGM_STREAM_PARTITION_H_

@@ -1,0 +1,72 @@
+#include "stream/window.h"
+
+#include "util/check.h"
+
+namespace fgm {
+
+SlidingWindowStream::SlidingWindowStream(
+    const std::vector<StreamRecord>* trace, double window_seconds)
+    : trace_(trace), window_(window_seconds) {
+  FGM_CHECK(trace != nullptr);
+}
+
+const StreamRecord* SlidingWindowStream::Next() {
+  const bool have_insert = next_insert_ < trace_->size();
+  const bool have_delete = window_ > 0 && !pending_deletes_.empty();
+
+  if (!have_insert && !have_delete) return nullptr;
+
+  bool emit_delete;
+  if (have_insert && have_delete) {
+    // Deletes fire at original time + window; break ties in favor of the
+    // delete so the window is never larger than TW.
+    emit_delete = pending_deletes_.front().time <=
+                  (*trace_)[next_insert_].time;
+  } else {
+    emit_delete = have_delete;
+  }
+
+  if (emit_delete) {
+    current_ = pending_deletes_.front();
+    pending_deletes_.pop_front();
+    ++deletes_;
+  } else {
+    current_ = (*trace_)[next_insert_++];
+    if (window_ > 0) {
+      StreamRecord del = current_;
+      del.time += window_;
+      del.weight = -1.0;
+      pending_deletes_.push_back(del);
+    }
+    ++inserts_;
+  }
+  ++produced_;
+  return &current_;
+}
+
+CountWindowStream::CountWindowStream(const std::vector<StreamRecord>* trace,
+                                     int64_t capacity)
+    : trace_(trace), capacity_(capacity) {
+  FGM_CHECK(trace != nullptr);
+  FGM_CHECK(capacity >= 1);
+}
+
+const StreamRecord* CountWindowStream::Next() {
+  if (evict_pending_) {
+    evict_pending_ = false;
+    current_ = (*trace_)[next_evict_++];
+    current_.weight = -1.0;
+    // The eviction conceptually happens at the time of the insert that
+    // displaced it.
+    current_.time = (*trace_)[next_insert_ - 1].time;
+    return &current_;
+  }
+  if (next_insert_ >= trace_->size()) return nullptr;
+  current_ = (*trace_)[next_insert_++];
+  if (static_cast<int64_t>(next_insert_ - next_evict_) > capacity_) {
+    evict_pending_ = true;
+  }
+  return &current_;
+}
+
+}  // namespace fgm

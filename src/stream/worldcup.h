@@ -1,0 +1,53 @@
+// Synthetic WorldCup-like trace generator.
+//
+// The paper evaluates on day 46 of the WorldCup'98 web logs: 50.3M http
+// requests received by 27 mirror sites. That trace is not redistributable
+// here, so this generator synthesizes a trace with the properties the
+// monitoring protocols are sensitive to (see DESIGN.md §3):
+//
+//  * k sites with power-law request rates (the real mirrors were highly
+//    uneven);
+//  * Zipf-distributed client ids (web request popularity is Zipfian);
+//  * a realistic HTML/IMAGE/other type mix (the Arlitt & Jin study reports
+//    images dominating with most remaining requests being HTML);
+//  * a diurnal arrival-rate profile with superimposed bursts, producing
+//    the stream variability the paper's "adverse conditions" experiments
+//    rely on.
+//
+// Generation is fully deterministic given the seed.
+
+#ifndef FGM_STREAM_WORLDCUP_H_
+#define FGM_STREAM_WORLDCUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/record.h"
+
+namespace fgm {
+
+struct WorldCupConfig {
+  int sites = 27;                   ///< number of mirrors
+  int64_t total_updates = 1000000;  ///< trace length in records
+  double duration = 86400.0;        ///< trace duration in seconds (one day)
+  uint64_t distinct_clients = 200000;
+  double client_zipf_s = 1.1;       ///< client-popularity Zipf exponent
+  double site_power_alpha = 1.0;    ///< per-site rate power-law exponent
+  double diurnal_amplitude = 0.6;   ///< 0 = flat rate, <1 keeps rate positive
+  int bursts = 12;                  ///< short high-rate bursts across the day
+  double burst_intensity = 3.0;     ///< burst rate multiplier
+  double html_fraction = 0.22;      ///< remaining mass mostly images
+  double image_fraction = 0.66;
+  uint64_t seed = 20190326;         ///< EDBT 2019 opening day
+};
+
+/// Generates the trace, sorted by arrival time.
+std::vector<StreamRecord> GenerateWorldCupTrace(const WorldCupConfig& config);
+
+/// Per-site record counts of a trace (diagnostics and tests).
+std::vector<int64_t> SiteCounts(const std::vector<StreamRecord>& trace,
+                                int sites);
+
+}  // namespace fgm
+
+#endif  // FGM_STREAM_WORLDCUP_H_

@@ -1,0 +1,51 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// The library does not use exceptions (per the project style); programming
+// errors and violated invariants abort with a diagnostic instead.
+
+#ifndef FGM_UTIL_CHECK_H_
+#define FGM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fgm {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "FGM_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace fgm
+
+// Always-on invariant check.
+#define FGM_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::fgm::internal_check::CheckFail(__FILE__, __LINE__, #expr); \
+    }                                                            \
+  } while (false)
+
+// Binary comparison checks, printing both operand texts.
+#define FGM_CHECK_OP(a, op, b) FGM_CHECK((a)op(b))
+#define FGM_CHECK_EQ(a, b) FGM_CHECK_OP(a, ==, b)
+#define FGM_CHECK_NE(a, b) FGM_CHECK_OP(a, !=, b)
+#define FGM_CHECK_LT(a, b) FGM_CHECK_OP(a, <, b)
+#define FGM_CHECK_LE(a, b) FGM_CHECK_OP(a, <=, b)
+#define FGM_CHECK_GT(a, b) FGM_CHECK_OP(a, >, b)
+#define FGM_CHECK_GE(a, b) FGM_CHECK_OP(a, >=, b)
+
+// Debug-only check; compiled out in NDEBUG builds (hot paths).
+#ifdef NDEBUG
+#define FGM_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define FGM_DCHECK(expr) FGM_CHECK(expr)
+#endif
+
+#endif  // FGM_UTIL_CHECK_H_

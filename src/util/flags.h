@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for examples and benchmark binaries.
+//
+// Accepts `--name=value` and `--name value` forms plus bare `--name` for
+// booleans. Unknown flags are collected and reported by Unparsed() so
+// binaries can reject typos.
+
+#ifndef FGM_UTIL_FLAGS_H_
+#define FGM_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fgm {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names that were provided but never read through a getter.
+  std::vector<std::string> Unparsed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_UTIL_FLAGS_H_

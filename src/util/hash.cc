@@ -1,0 +1,30 @@
+#include "util/hash.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fgm {
+
+template <int Degree>
+PolyHash<Degree>::PolyHash(Xoshiro256ss& rng) {
+  for (auto& c : coeff_) c = rng.NextBounded(kMersennePrime);
+  // A zero leading coefficient would lower the degree of independence.
+  while (coeff_[Degree] == 0) coeff_[Degree] = rng.NextBounded(kMersennePrime);
+}
+
+template class PolyHash<1>;
+template class PolyHash<3>;
+
+BucketHash::BucketHash(Xoshiro256ss& rng, uint32_t buckets)
+    : hash_(rng), buckets_(buckets) {
+  FGM_CHECK(buckets >= 1);
+}
+
+uint64_t MixHash64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace fgm

@@ -1,0 +1,69 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fgm {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+CountHistogram::CountHistogram(int max_value)
+    : buckets_(static_cast<size_t>(max_value) + 2, 0) {
+  FGM_CHECK_GE(max_value, 0);
+}
+
+void CountHistogram::Add(int64_t value) {
+  FGM_CHECK_GE(value, 0);
+  const size_t overflow = buckets_.size() - 1;
+  const size_t idx =
+      value < static_cast<int64_t>(overflow) ? static_cast<size_t>(value)
+                                             : overflow;
+  ++buckets_[idx];
+  ++total_;
+  sum_ += value;
+  if (value > max_observed_) max_observed_ = value;
+}
+
+int64_t CountHistogram::CountAt(int64_t value) const {
+  if (value < 0 || value >= static_cast<int64_t>(buckets_.size())) return 0;
+  return buckets_[static_cast<size_t>(value)];
+}
+
+double CountHistogram::Mean() const {
+  return total_ > 0 ? static_cast<double>(sum_) / static_cast<double>(total_)
+                    : 0.0;
+}
+
+int64_t CountHistogram::Quantile(double q) const {
+  FGM_CHECK_GE(q, 0.0);
+  FGM_CHECK_LE(q, 1.0);
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  int64_t seen = 0;
+  for (size_t v = 0; v < buckets_.size(); ++v) {
+    seen += buckets_[v];
+    if (static_cast<double>(seen) >= target) return static_cast<int64_t>(v);
+  }
+  return static_cast<int64_t>(buckets_.size() - 1);
+}
+
+}  // namespace fgm

@@ -1,0 +1,54 @@
+// Small statistics accumulators used by protocol metrics and tests.
+
+#ifndef FGM_UTIL_STATS_H_
+#define FGM_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fgm {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over nonnegative integers (e.g. subround counts).
+class CountHistogram {
+ public:
+  explicit CountHistogram(int max_value = 32);
+
+  void Add(int64_t value);
+
+  int64_t total() const { return total_; }
+  int64_t CountAt(int64_t value) const;
+  int64_t max_observed() const { return max_observed_; }
+  double Mean() const;
+  /// Smallest v such that at least `q` fraction of samples are <= v.
+  int64_t Quantile(double q) const;
+
+ private:
+  std::vector<int64_t> buckets_;  // last bucket is overflow
+  int64_t total_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_observed_ = 0;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_UTIL_STATS_H_

@@ -1,0 +1,46 @@
+#include "util/subsets.h"
+
+#include "util/check.h"
+
+namespace fgm {
+
+int64_t BinomialCoefficient(int n, int m) {
+  if (m < 0 || m > n) return 0;
+  if (m > n - m) m = n - m;
+  int64_t result = 1;
+  for (int i = 1; i <= m; ++i) {
+    result = result * (n - m + i) / i;
+  }
+  return result;
+}
+
+std::vector<std::vector<int>> EnumerateSubsets(int n, int m,
+                                               int64_t max_count) {
+  FGM_CHECK_GE(n, 0);
+  FGM_CHECK_GE(m, 0);
+  FGM_CHECK_LE(m, n);
+  FGM_CHECK_LE(BinomialCoefficient(n, m), max_count);
+
+  std::vector<std::vector<int>> result;
+  std::vector<int> current(static_cast<size_t>(m));
+  // Standard iterative combination enumeration.
+  for (int i = 0; i < m; ++i) current[static_cast<size_t>(i)] = i;
+  if (m == 0) {
+    result.push_back({});
+    return result;
+  }
+  while (true) {
+    result.push_back(current);
+    // Find rightmost index that can be incremented.
+    int i = m - 1;
+    while (i >= 0 && current[static_cast<size_t>(i)] == n - m + i) --i;
+    if (i < 0) break;
+    ++current[static_cast<size_t>(i)];
+    for (int j = i + 1; j < m; ++j) {
+      current[static_cast<size_t>(j)] = current[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace fgm

@@ -1,0 +1,27 @@
+// Enumeration of fixed-size subsets (combinations).
+//
+// The weighted-median safe-zone composition (Garofalakis & Samoladas,
+// ICDT'17) maximizes over all m-subsets of the "good" sketch rows. The
+// number of rows d is small (typically 5–9), so explicit enumeration is
+// both exact and fast.
+
+#ifndef FGM_UTIL_SUBSETS_H_
+#define FGM_UTIL_SUBSETS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fgm {
+
+/// Returns all m-subsets of {0, ..., n-1} in lexicographic order.
+/// Checked to keep the total count below `max_count` (default guards
+/// against accidental exponential blowups).
+std::vector<std::vector<int>> EnumerateSubsets(int n, int m,
+                                               int64_t max_count = 1 << 20);
+
+/// C(n, m) with overflow care for the small arguments used here.
+int64_t BinomialCoefficient(int n, int m);
+
+}  // namespace fgm
+
+#endif  // FGM_UTIL_SUBSETS_H_

@@ -1,0 +1,175 @@
+// Tests for the query layer: record→delta mapping, thresholds with the
+// relative/floor rule, safe-function construction around estimates.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace fgm {
+namespace {
+
+std::shared_ptr<const AgmsProjection> Proj(int d = 5, int w = 16,
+                                           uint64_t seed = 3) {
+  return std::make_shared<const AgmsProjection>(d, w, seed);
+}
+
+StreamRecord Rec(uint64_t cid, FileType type = FileType::kHtml,
+                 double weight = 1.0) {
+  StreamRecord rec;
+  rec.cid = cid;
+  rec.type = type;
+  rec.weight = weight;
+  return rec;
+}
+
+TEST(RelativeThresholds, RelativeAndFloorRegimes) {
+  // Large value: relative margin dominates.
+  ThresholdPair t = RelativeThresholds(1000.0, 0.1, 1.0);
+  EXPECT_DOUBLE_EQ(t.lo, 900.0);
+  EXPECT_DOUBLE_EQ(t.hi, 1100.0);
+  // Near zero: the floor keeps the interval nondegenerate.
+  t = RelativeThresholds(0.0, 0.1, 1.0);
+  EXPECT_DOUBLE_EQ(t.lo, -1.0);
+  EXPECT_DOUBLE_EQ(t.hi, 1.0);
+  // Negative values (join estimates): interval flips around the center.
+  t = RelativeThresholds(-1000.0, 0.1, 1.0);
+  EXPECT_DOUBLE_EQ(t.lo, -1100.0);
+  EXPECT_DOUBLE_EQ(t.hi, -900.0);
+}
+
+TEST(SelfJoinQuery, MapRecordUsesTheProjection) {
+  auto proj = Proj();
+  SelfJoinQuery query(proj, 0.1);
+  EXPECT_EQ(query.dimension(), proj->dimension());
+  std::vector<CellUpdate> deltas;
+  query.MapRecord(Rec(42, FileType::kImage, -1.0), &deltas);
+  ASSERT_EQ(deltas.size(), 5u);  // one cell per row, type ignored
+  for (const auto& u : deltas) {
+    EXPECT_LT(u.index, proj->dimension());
+    EXPECT_DOUBLE_EQ(std::fabs(u.delta), 1.0);
+  }
+}
+
+TEST(SelfJoinQuery, EvaluateMatchesSketchEstimate) {
+  auto proj = Proj();
+  SelfJoinQuery query(proj, 0.1);
+  RealVector state(query.dimension());
+  std::vector<CellUpdate> deltas;
+  for (uint64_t cid = 0; cid < 200; ++cid) {
+    deltas.clear();
+    query.MapRecord(Rec(cid % 37), &deltas);
+    for (const auto& u : deltas) state[u.index] += u.delta;
+  }
+  EXPECT_DOUBLE_EQ(query.Evaluate(state), SelfJoinEstimate(*proj, state));
+  EXPECT_GT(query.Evaluate(state), 0.0);
+}
+
+TEST(SelfJoinQuery, SafeFunctionIsCenteredOnTheEstimate) {
+  auto proj = Proj();
+  SelfJoinQuery query(proj, 0.2);
+  RealVector e(query.dimension());
+  std::vector<CellUpdate> deltas;
+  for (uint64_t cid = 0; cid < 500; ++cid) {
+    deltas.clear();
+    query.MapRecord(Rec(cid % 29), &deltas);
+    for (const auto& u : deltas) e[u.index] += u.delta;
+  }
+  auto fn = query.MakeSafeFunction(e);
+  EXPECT_LT(fn->AtZero(), 0.0);
+  const ThresholdPair t = query.Thresholds(e);
+  const double q = query.Evaluate(e);
+  EXPECT_LT(t.lo, q);
+  EXPECT_GT(t.hi, q);
+  EXPECT_NEAR(t.hi - q, 0.2 * q, 1e-9);
+}
+
+TEST(JoinQuery, HtmlGoesToFirstSketch) {
+  auto proj = Proj();
+  JoinQuery query(proj, 0.1);
+  EXPECT_EQ(query.dimension(), 2 * proj->dimension());
+  std::vector<CellUpdate> html, other;
+  query.MapRecord(Rec(7, FileType::kHtml), &html);
+  query.MapRecord(Rec(7, FileType::kImage), &other);
+  ASSERT_EQ(html.size(), 5u);
+  ASSERT_EQ(other.size(), 5u);
+  for (size_t i = 0; i < html.size(); ++i) {
+    EXPECT_LT(html[i].index, proj->dimension());
+    EXPECT_EQ(other[i].index, html[i].index + proj->dimension());
+    EXPECT_DOUBLE_EQ(other[i].delta, html[i].delta);
+  }
+}
+
+TEST(JoinQuery, EvaluateIsTheMedianRowProduct) {
+  auto proj = Proj();
+  JoinQuery query(proj, 0.1);
+  RealVector state(query.dimension());
+  std::vector<CellUpdate> deltas;
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    deltas.clear();
+    query.MapRecord(Rec(rng.NextBounded(50),
+                        (i % 3 == 0) ? FileType::kHtml : FileType::kImage),
+                    &deltas);
+    for (const auto& u : deltas) state[u.index] += u.delta;
+  }
+  EXPECT_DOUBLE_EQ(query.Evaluate(state),
+                   JoinEstimateConcatenated(*proj, state));
+}
+
+TEST(JoinQuery, SafeFunctionValidAtColdStart) {
+  auto proj = Proj();
+  JoinQuery query(proj, 0.1);
+  auto fn = query.MakeSafeFunction(RealVector(query.dimension()));
+  EXPECT_LT(fn->AtZero(), 0.0);
+}
+
+TEST(FpNormQuery, MapFoldsKeysIntoDimension) {
+  FpNormQuery query(16, 2.0, 0.1, FpNormQuery::Mode::kMonotoneUpper);
+  std::vector<CellUpdate> deltas;
+  query.MapRecord(Rec(16 * 5 + 3), &deltas);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].index, 3u);
+  EXPECT_DOUBLE_EQ(deltas[0].delta, 1.0);
+}
+
+TEST(FpNormQuery, EvaluateIsLpNorm) {
+  FpNormQuery q1(4, 1.0, 0.1, FpNormQuery::Mode::kMonotoneUpper);
+  FpNormQuery q3(4, 3.0, 0.1, FpNormQuery::Mode::kMonotoneUpper);
+  RealVector v{1.0, -2.0, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(q1.Evaluate(v), 5.0);
+  EXPECT_NEAR(q3.Evaluate(v), std::cbrt(1.0 + 8.0 + 8.0), 1e-12);
+}
+
+TEST(FpNormQuery, TwoSidedUsesCompositionAwayFromZero) {
+  FpNormQuery query(8, 2.0, 0.1, FpNormQuery::Mode::kTwoSided);
+  RealVector e(8);
+  e[0] = 10.0;
+  auto fn = query.MakeSafeFunction(e);
+  EXPECT_LT(fn->AtZero(), 0.0);
+  // Drift that shrinks the norm below (1-ε)‖E‖ must violate.
+  RealVector shrink(8);
+  shrink[0] = -2.0;
+  EXPECT_GT(fn->Eval(shrink), 0.0);
+  // Drift that grows the norm beyond (1+ε)‖E‖ must violate.
+  RealVector grow(8);
+  grow[0] = 2.0;
+  EXPECT_GT(fn->Eval(grow), 0.0);
+  // Small drift stays quiescent.
+  RealVector small(8);
+  small[1] = 0.3;
+  EXPECT_LT(fn->Eval(small), 0.0);
+}
+
+TEST(FpNormQuery, MonotoneUpperAtColdStart) {
+  FpNormQuery query(8, 2.0, 0.1, FpNormQuery::Mode::kMonotoneUpper);
+  auto fn = query.MakeSafeFunction(RealVector(8));
+  EXPECT_LT(fn->AtZero(), 0.0);
+}
+
+}  // namespace
+}  // namespace fgm

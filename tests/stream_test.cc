@@ -1,0 +1,199 @@
+// Tests for the stream substrate: generator, windows, partitioning, skew.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/partition.h"
+#include "stream/window.h"
+#include "stream/worldcup.h"
+
+namespace fgm {
+namespace {
+
+WorldCupConfig SmallConfig() {
+  WorldCupConfig config;
+  config.sites = 9;
+  config.total_updates = 20000;
+  config.duration = 10000.0;
+  config.distinct_clients = 2000;
+  return config;
+}
+
+TEST(WorldCup, DeterministicAndSorted) {
+  const auto a = GenerateWorldCupTrace(SmallConfig());
+  const auto b = GenerateWorldCupTrace(SmallConfig());
+  ASSERT_EQ(a.size(), 20000u);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].cid, b[i].cid);
+    ASSERT_EQ(a[i].site, b[i].site);
+    if (i > 0) ASSERT_GE(a[i].time, a[i - 1].time);
+    ASSERT_GE(a[i].time, 0.0);
+    ASSERT_LE(a[i].time, 10000.0);
+    ASSERT_DOUBLE_EQ(a[i].weight, 1.0);
+  }
+  WorldCupConfig other = SmallConfig();
+  other.seed += 1;
+  const auto c = GenerateWorldCupTrace(other);
+  int diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff += a[i].cid != c[i].cid;
+  EXPECT_GT(diff, 1000);
+}
+
+TEST(WorldCup, SiteRatesAreSkewed) {
+  const auto trace = GenerateWorldCupTrace(SmallConfig());
+  auto counts = SiteCounts(trace, 9);
+  std::sort(counts.begin(), counts.end());
+  // A 1/r power law: the largest site should dwarf the smallest.
+  EXPECT_GT(counts.back(), 4 * counts.front());
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(WorldCup, ClientPopularityIsZipfLike) {
+  const auto trace = GenerateWorldCupTrace(SmallConfig());
+  std::map<uint64_t, int> freq;
+  for (const auto& rec : trace) ++freq[rec.cid];
+  std::vector<int> counts;
+  for (const auto& [cid, c] : freq) {
+    (void)cid;
+    counts.push_back(c);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  EXPECT_GT(counts[0], 10 * counts[std::min<size_t>(99, counts.size() - 1)]);
+}
+
+TEST(WorldCup, TypeMixMatchesConfig) {
+  const auto trace = GenerateWorldCupTrace(SmallConfig());
+  int html = 0, image = 0;
+  for (const auto& rec : trace) {
+    html += rec.type == FileType::kHtml;
+    image += rec.type == FileType::kImage;
+  }
+  EXPECT_NEAR(static_cast<double>(html) / trace.size(), 0.22, 0.02);
+  EXPECT_NEAR(static_cast<double>(image) / trace.size(), 0.66, 0.02);
+}
+
+TEST(SlidingWindow, CashRegisterPassesThrough) {
+  const auto trace = GenerateWorldCupTrace(SmallConfig());
+  SlidingWindowStream events(&trace, 0.0);
+  int64_t n = 0;
+  while (const StreamRecord* rec = events.Next()) {
+    ASSERT_DOUBLE_EQ(rec->weight, 1.0);
+    ++n;
+  }
+  EXPECT_EQ(n, static_cast<int64_t>(trace.size()));
+  EXPECT_EQ(events.deletes(), 0);
+}
+
+TEST(SlidingWindow, EveryInsertEventuallyDeleted) {
+  const auto trace = GenerateWorldCupTrace(SmallConfig());
+  SlidingWindowStream events(&trace, 500.0);
+  std::map<uint64_t, int> live;  // cid -> live count
+  int64_t inserts = 0, deletes = 0;
+  double last_time = 0.0;
+  while (const StreamRecord* rec = events.Next()) {
+    ASSERT_GE(rec->time, last_time);  // time-ordered interleaving
+    last_time = rec->time;
+    if (rec->weight > 0) {
+      ++inserts;
+      ++live[rec->cid];
+    } else {
+      ++deletes;
+      --live[rec->cid];
+      ASSERT_GE(live[rec->cid], 0);
+    }
+  }
+  EXPECT_EQ(inserts, static_cast<int64_t>(trace.size()));
+  EXPECT_EQ(deletes, inserts);  // window fully drains at end of stream
+}
+
+TEST(SlidingWindow, WindowContentsNeverOlderThanTw) {
+  const auto trace = GenerateWorldCupTrace(SmallConfig());
+  const double tw = 800.0;
+  SlidingWindowStream events(&trace, tw);
+  std::vector<double> live_times;
+  while (const StreamRecord* rec = events.Next()) {
+    if (rec->weight > 0) {
+      live_times.push_back(rec->time);
+    } else {
+      // Deletion fires at insert time + TW (up to float rounding).
+      const double original = rec->time - tw;
+      auto it = std::min_element(
+          live_times.begin(), live_times.end(), [&](double a, double b) {
+            return std::fabs(a - original) < std::fabs(b - original);
+          });
+      ASSERT_NE(it, live_times.end());
+      ASSERT_NEAR(*it, original, 1e-6);
+      live_times.erase(it);
+    }
+    for (double t : live_times) ASSERT_GE(t, rec->time - tw - 1e-9);
+  }
+}
+
+TEST(CountWindow, KeepsExactlyCapacity) {
+  const auto trace = GenerateWorldCupTrace(SmallConfig());
+  CountWindowStream events(&trace, 100);
+  int64_t live = 0, max_live = 0;
+  while (const StreamRecord* rec = events.Next()) {
+    live += rec->weight > 0 ? 1 : -1;
+    max_live = std::max(max_live, live);
+    ASSERT_LE(live, 101);  // eviction lags the insert by one event
+  }
+  EXPECT_EQ(max_live, 101);
+  EXPECT_EQ(live, 100);  // the final window remains
+}
+
+TEST(Partition, RehashPreservesGlobalStream) {
+  const auto trace = GenerateWorldCupTrace(SmallConfig());
+  const auto rehashed = RehashSites(trace, 4);
+  ASSERT_EQ(rehashed.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(rehashed[i].cid, trace[i].cid);
+    ASSERT_EQ(static_cast<int>(rehashed[i].type),
+              static_cast<int>(trace[i].type));
+    ASSERT_GE(rehashed[i].site, 0);
+    ASSERT_LT(rehashed[i].site, 4);
+  }
+  // All 4 sites get traffic.
+  const auto counts = SiteCounts(rehashed, 4);
+  for (int64_t c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Partition, SkewTransformMatchesPaperSetup) {
+  const auto trace = GenerateWorldCupTrace(SmallConfig());
+  const auto skewed = MakeSkewedTrace(trace, 9, /*group_size=*/4);
+  ASSERT_EQ(skewed.size(), trace.size());
+  // Global stream identical.
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(skewed[i].cid, trace[i].cid);
+    ASSERT_EQ(skewed[i].time, trace[i].time);
+  }
+  const auto before = SiteCounts(trace, 9);
+  const auto after = SiteCounts(skewed, 9);
+  // Exactly group_size - 1 = 3 sites lose their stream entirely; the hot
+  // site absorbs the group's records.
+  int empty = 0;
+  int64_t hot_max = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (after[static_cast<size_t>(i)] == 0 &&
+        before[static_cast<size_t>(i)] > 0) {
+      ++empty;
+    }
+    hot_max = std::max(hot_max, after[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(empty, 3);
+  int64_t group_total = 0;
+  std::vector<int64_t> sorted = before;
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (int g = 0; g < 4; ++g) group_total += sorted[static_cast<size_t>(g)];
+  EXPECT_EQ(hot_max, group_total);
+}
+
+}  // namespace
+}  // namespace fgm

@@ -1,0 +1,189 @@
+// Tests for variance monitoring: the quadratic-over-linear safe zone, the
+// tangent-plane upper bound, the query wiring, and the end-to-end
+// guarantee through the protocols.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "driver/runner.h"
+#include "query/variance.h"
+#include "safezone/variance_sz.h"
+#include "stream/worldcup.h"
+#include "util/rng.h"
+
+namespace fgm {
+namespace {
+
+RealVector MakeState(double n, double mean, double var) {
+  // (count, Σv, Σv²) with the requested moments.
+  return RealVector{n, n * mean, n * (var + mean * mean)};
+}
+
+TEST(VarianceOfState, MatchesMoments) {
+  const RealVector s = MakeState(50.0, 3.0, 7.5);
+  EXPECT_NEAR(VarianceOfState(s), 7.5, 1e-12);
+  EXPECT_DOUBLE_EQ(VarianceOfState(RealVector(3)), 0.0);
+}
+
+TEST(VarianceLower, NegativeAtReferenceAndSafe) {
+  const RealVector e = MakeState(40.0, 5.0, 10.0);
+  VarianceLowerSafeFunction fn(e, /*t_lo=*/6.0);
+  EXPECT_LT(fn.Eval(RealVector(3)), 0.0);
+  // Randomized safety: φ(x) ≤ 0 ⇒ var(E + x) ≥ t_lo.
+  Xoshiro256ss rng(1);
+  int quiescent = 0;
+  for (int t = 0; t < 5000; ++t) {
+    RealVector x{4.0 * rng.NextGaussian(), 30.0 * rng.NextGaussian(),
+                 300.0 * rng.NextGaussian()};
+    if (fn.Eval(x) > 0.0) continue;
+    ++quiescent;
+    RealVector s = e;
+    s += x;
+    ASSERT_GE(VarianceOfState(s), 6.0 - 1e-9);
+  }
+  EXPECT_GT(quiescent, 50);
+}
+
+TEST(VarianceLower, ConvexOnTheDomain) {
+  const RealVector e = MakeState(40.0, 5.0, 10.0);
+  VarianceLowerSafeFunction fn(e, 6.0);
+  Xoshiro256ss rng(2);
+  for (int t = 0; t < 2000; ++t) {
+    // Stay within n + x0 > 0.
+    RealVector a{30.0 * rng.NextDouble() - 20.0, 30.0 * rng.NextGaussian(),
+                 300.0 * rng.NextGaussian()};
+    RealVector b{30.0 * rng.NextDouble() - 20.0, 30.0 * rng.NextGaussian(),
+                 300.0 * rng.NextGaussian()};
+    const double theta = rng.NextDouble();
+    RealVector mid = a;
+    mid *= theta;
+    mid.Axpy(1.0 - theta, b);
+    const double rhs = theta * fn.Eval(a) + (1.0 - theta) * fn.Eval(b);
+    ASSERT_LE(fn.Eval(mid), rhs + 1e-7 * (1.0 + std::fabs(rhs)));
+  }
+}
+
+TEST(VarianceUpper, TangentPlaneIsInsideTheRegion) {
+  const RealVector e = MakeState(40.0, 5.0, 10.0);
+  VarianceUpperSafeFunction fn(e, /*t_hi=*/14.0);
+  EXPECT_LT(fn.Eval(RealVector(3)), 0.0);
+  Xoshiro256ss rng(3);
+  int quiescent = 0;
+  for (int t = 0; t < 5000; ++t) {
+    RealVector x{6.0 * rng.NextGaussian(), 40.0 * rng.NextGaussian(),
+                 400.0 * rng.NextGaussian()};
+    if (fn.Eval(x) > 0.0) continue;
+    RealVector s = e;
+    s += x;
+    if (s[0] <= 1e-9) continue;  // variance undefined; region vacuous
+    ++quiescent;
+    ASSERT_LE(VarianceOfState(s), 14.0 + 1e-9);
+  }
+  EXPECT_GT(quiescent, 50);
+}
+
+TEST(VarianceSafeFunction, TwoSidedDef21Safety) {
+  const RealVector e = MakeState(60.0, 4.0, 12.0);
+  auto fn = MakeVarianceSafeFunction(e, 9.0, 15.0);
+  ASSERT_LT(fn->AtZero(), 0.0);
+  Xoshiro256ss rng(4);
+  int quiescent = 0;
+  for (int t = 0; t < 5000; ++t) {
+    // Definition 2.1 with k = 3 sites.
+    RealVector sum(3);
+    double psi = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      RealVector x{3.0 * rng.NextGaussian(), 15.0 * rng.NextGaussian(),
+                   150.0 * rng.NextGaussian()};
+      psi += fn->Eval(x);
+      sum += x;
+    }
+    if (psi > 0.0) continue;
+    ++quiescent;
+    sum *= 1.0 / 3.0;
+    sum += e;
+    ASSERT_GT(sum[0], 0.0);
+    const double var = VarianceOfState(sum);
+    ASSERT_GE(var, 9.0 - 1e-9);
+    ASSERT_LE(var, 15.0 + 1e-9);
+  }
+  EXPECT_GT(quiescent, 20);
+}
+
+TEST(ResponseSize, DeterministicPositiveAndTyped) {
+  StreamRecord a;
+  a.cid = 123;
+  a.type = FileType::kHtml;
+  StreamRecord b = a;
+  EXPECT_DOUBLE_EQ(ResponseSizeOf(a), ResponseSizeOf(b));
+  EXPECT_GT(ResponseSizeOf(a), 0.0);
+  b.type = FileType::kVideo;
+  EXPECT_GT(ResponseSizeOf(b), ResponseSizeOf(a));
+}
+
+TEST(VarianceQuery, StateMappingAndEvaluate) {
+  VarianceQuery query(0.1);
+  StreamRecord rec;
+  rec.cid = 99;
+  rec.type = FileType::kImage;
+  rec.weight = -1.0;
+  std::vector<CellUpdate> deltas;
+  query.MapRecord(rec, &deltas);
+  ASSERT_EQ(deltas.size(), 3u);
+  const double v = ResponseSizeOf(rec);
+  EXPECT_DOUBLE_EQ(deltas[0].delta, -1.0);
+  EXPECT_DOUBLE_EQ(deltas[1].delta, -v);
+  EXPECT_DOUBLE_EQ(deltas[2].delta, -v * v);
+}
+
+TEST(VarianceQuery, BootstrapThenRealThresholds) {
+  VarianceQuery query(0.1, 1e-3, /*bootstrap_count=*/32.0);
+  const ThresholdPair cold = query.Thresholds(RealVector(3));
+  EXPECT_LT(cold.lo, -1e200);
+  EXPECT_GT(cold.hi, 1e200);
+  auto cold_fn = query.MakeSafeFunction(RealVector(3));
+  EXPECT_LT(cold_fn->AtZero(), 0.0);
+
+  const RealVector warm = MakeState(100.0, 4.0, 9.0);
+  const ThresholdPair t = query.Thresholds(warm);
+  EXPECT_NEAR(t.lo, 9.0 * 0.9, 1e-9);
+  EXPECT_NEAR(t.hi, 9.0 * 1.1, 1e-9);
+  auto fn = query.MakeSafeFunction(warm);
+  EXPECT_LT(fn->AtZero(), 0.0);
+}
+
+class VarianceProtocolSweep : public ::testing::TestWithParam<ProtocolKind> {
+};
+
+TEST_P(VarianceProtocolSweep, GuaranteeHoldsEndToEnd) {
+  WorldCupConfig wc;
+  wc.sites = 5;
+  wc.total_updates = 30000;
+  wc.duration = 8000.0;
+  const auto trace = GenerateWorldCupTrace(wc);
+  RunConfig config;
+  config.protocol = GetParam();
+  config.query = QueryKind::kVariance;
+  config.sites = 5;
+  config.epsilon = 0.15;
+  config.window_seconds = 1200.0;
+  config.check_every = 1;
+  const RunResult result = ::fgm::Run(config, trace);
+  EXPECT_GT(result.checks, 0);
+  EXPECT_LE(result.max_violation, 1e-6) << result.protocol_name;
+  // D = 3, so monitoring must crush the centralizing cost.
+  if (GetParam() != ProtocolKind::kCentral) {
+    EXPECT_LT(result.comm_cost, 0.6) << result.protocol_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, VarianceProtocolSweep,
+                         ::testing::Values(ProtocolKind::kCentral,
+                                           ProtocolKind::kGm,
+                                           ProtocolKind::kFgm,
+                                           ProtocolKind::kFgmOpt));
+
+}  // namespace
+}  // namespace fgm

@@ -1,0 +1,149 @@
+// Wire-format tests: round trips, and — crucially — that the encoded
+// sizes equal the analytic word counts the protocols charge.
+
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+#include "safezone/cheap_bound.h"
+#include "util/rng.h"
+
+namespace fgm {
+namespace {
+
+TEST(WordBuffer, PutGetRoundTrip) {
+  WordBuffer buf;
+  buf.PutReal(3.25);
+  buf.PutCount(-42);
+  buf.PutVector(RealVector{1.0, 2.0});
+  EXPECT_EQ(buf.size_words(), 4u);
+  EXPECT_DOUBLE_EQ(buf.GetReal(0), 3.25);
+  EXPECT_EQ(buf.GetCount(1), -42);
+  const RealVector v = buf.GetVector(2, 2);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(ScalarMessages, OneWordEach) {
+  WordBuffer buf;
+  QuantumMsg{0.5}.Encode(&buf);
+  EXPECT_EQ(buf.size_words(), static_cast<size_t>(QuantumMsg::kWords));
+  EXPECT_DOUBLE_EQ(QuantumMsg::Decode(buf).theta, 0.5);
+
+  WordBuffer buf2;
+  LambdaMsg{0.75}.Encode(&buf2);
+  EXPECT_EQ(buf2.size_words(), static_cast<size_t>(LambdaMsg::kWords));
+  EXPECT_DOUBLE_EQ(LambdaMsg::Decode(buf2).lambda, 0.75);
+
+  WordBuffer buf3;
+  CounterMsg{7}.Encode(&buf3);
+  EXPECT_EQ(buf3.size_words(), static_cast<size_t>(CounterMsg::kWords));
+  EXPECT_EQ(CounterMsg::Decode(buf3).increment, 7);
+
+  WordBuffer buf4;
+  PhiValueMsg{-1.5}.Encode(&buf4);
+  EXPECT_EQ(buf4.size_words(), static_cast<size_t>(PhiValueMsg::kWords));
+  EXPECT_DOUBLE_EQ(PhiValueMsg::Decode(buf4).value, -1.5);
+}
+
+TEST(SafeZoneMsg, CostsExactlyD) {
+  // The protocols charge D words per full safe-zone shipment.
+  Xoshiro256ss rng(1);
+  RealVector e(100);
+  for (size_t i = 0; i < e.dim(); ++i) e[i] = rng.NextGaussian();
+  SafeZoneMsg msg{e};
+  WordBuffer buf;
+  msg.Encode(&buf);
+  EXPECT_EQ(static_cast<int64_t>(buf.size_words()), msg.Words());
+  EXPECT_EQ(msg.Words(), 100);
+  const SafeZoneMsg decoded = SafeZoneMsg::Decode(buf, 100);
+  EXPECT_DOUBLE_EQ(Distance(decoded.reference, e), 0.0);
+}
+
+TEST(CheapZoneMsg, CostsExactlyTheCheapShippingWords) {
+  CheapZoneMsg msg{1.0, 1.0, -3.5};
+  WordBuffer buf;
+  msg.Encode(&buf);
+  EXPECT_EQ(static_cast<int64_t>(buf.size_words()), CheapZoneMsg::kWords);
+  // ... which is what CheapBoundFunction advertises.
+  EXPECT_EQ(CheapZoneMsg::kWords, CheapBoundFunction::kShippingWords);
+  const CheapZoneMsg decoded = CheapZoneMsg::Decode(buf);
+  EXPECT_DOUBLE_EQ(decoded.offset, -3.5);
+}
+
+TEST(RawUpdateMsg, PacksKeyAndSignIntoOneWord) {
+  WordBuffer buf;
+  RawUpdateMsg insert;
+  insert.key = 0x0123456789ABCDEull;
+  insert.is_delete = 0;
+  insert.Encode(&buf);
+  RawUpdateMsg del;
+  del.key = 42;
+  del.is_delete = 1;
+  del.Encode(&buf);
+  EXPECT_EQ(buf.size_words(), 2u);
+  const RawUpdateMsg a = RawUpdateMsg::Decode(buf, 0);
+  const RawUpdateMsg b = RawUpdateMsg::Decode(buf, 1);
+  EXPECT_EQ(a.key, 0x0123456789ABCDEull);
+  EXPECT_EQ(a.is_delete, 0u);
+  EXPECT_EQ(b.key, 42u);
+  EXPECT_EQ(b.is_delete, 1u);
+}
+
+TEST(DriftFlushMsg, DenseRoundTripAndSize) {
+  DriftFlushMsg msg;
+  msg.update_count = 500;
+  msg.dense = true;
+  msg.drift = RealVector{1.0, -2.0, 3.0};
+  WordBuffer buf;
+  msg.Encode(&buf);
+  EXPECT_EQ(static_cast<int64_t>(buf.size_words()), msg.Words());
+  EXPECT_EQ(msg.Words(), 4);  // 1 + D
+  const DriftFlushMsg decoded = DriftFlushMsg::Decode(buf, 3);
+  EXPECT_TRUE(decoded.dense);
+  EXPECT_EQ(decoded.update_count, 500);
+  EXPECT_DOUBLE_EQ(decoded.drift[2], 3.0);
+}
+
+TEST(DriftFlushMsg, VerbatimRoundTripAndSize) {
+  DriftFlushMsg msg;
+  msg.update_count = 2;
+  msg.dense = false;
+  RawUpdateMsg u1;
+  u1.key = 7;
+  u1.is_delete = 0;
+  RawUpdateMsg u2;
+  u2.key = 9;
+  u2.is_delete = 1;
+  msg.raw = {u1, u2};
+  WordBuffer buf;
+  msg.Encode(&buf);
+  EXPECT_EQ(static_cast<int64_t>(buf.size_words()), msg.Words());
+  EXPECT_EQ(msg.Words(), 3);  // 1 + n
+  const DriftFlushMsg decoded = DriftFlushMsg::Decode(buf, 1000);
+  EXPECT_FALSE(decoded.dense);
+  ASSERT_EQ(decoded.raw.size(), 2u);
+  EXPECT_EQ(decoded.raw[1].key, 9u);
+  EXPECT_EQ(decoded.raw[1].is_delete, 1u);
+}
+
+TEST(DriftFlushMsg, ChargedWordsMatchesTheSmallerEncoding) {
+  // The protocols charge min(D, n) + 1 — exactly the smaller of the two
+  // encodings.
+  for (const auto& [dim, n] : std::vector<std::pair<size_t, int64_t>>{
+           {100, 5}, {100, 100}, {100, 5000}, {3, 1}}) {
+    DriftFlushMsg dense_msg;
+    dense_msg.update_count = n;
+    dense_msg.dense = true;
+    dense_msg.drift = RealVector(dim);
+    DriftFlushMsg raw_msg;
+    raw_msg.update_count = n;
+    raw_msg.dense = false;
+    raw_msg.raw.resize(static_cast<size_t>(n));
+    const int64_t smaller = std::min(dense_msg.Words(), raw_msg.Words());
+    EXPECT_EQ(DriftFlushMsg::ChargedWords(dim, n), smaller)
+        << "dim=" << dim << " n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace fgm
