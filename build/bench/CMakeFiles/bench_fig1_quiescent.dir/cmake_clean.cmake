@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_quiescent.dir/bench_fig1_quiescent.cc.o"
+  "CMakeFiles/bench_fig1_quiescent.dir/bench_fig1_quiescent.cc.o.d"
+  "bench_fig1_quiescent"
+  "bench_fig1_quiescent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_quiescent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_selfjoin_k.dir/bench_fig2_selfjoin_k.cc.o"
+  "CMakeFiles/bench_fig2_selfjoin_k.dir/bench_fig2_selfjoin_k.cc.o.d"
+  "bench_fig2_selfjoin_k"
+  "bench_fig2_selfjoin_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_selfjoin_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

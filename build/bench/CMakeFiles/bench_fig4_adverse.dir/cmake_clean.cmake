@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_adverse.dir/bench_fig4_adverse.cc.o"
+  "CMakeFiles/bench_fig4_adverse.dir/bench_fig4_adverse.cc.o.d"
+  "bench_fig4_adverse"
+  "bench_fig4_adverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_adverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_window_sketch.dir/bench_fig5_window_sketch.cc.o"
+  "CMakeFiles/bench_fig5_window_sketch.dir/bench_fig5_window_sketch.cc.o.d"
+  "bench_fig5_window_sketch"
+  "bench_fig5_window_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_window_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subrounds.dir/bench_subrounds.cc.o"
+  "CMakeFiles/bench_subrounds.dir/bench_subrounds.cc.o.d"
+  "bench_subrounds"
+  "bench_subrounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subrounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

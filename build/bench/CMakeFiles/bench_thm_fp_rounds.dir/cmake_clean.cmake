@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm_fp_rounds.dir/bench_thm_fp_rounds.cc.o"
+  "CMakeFiles/bench_thm_fp_rounds.dir/bench_thm_fp_rounds.cc.o.d"
+  "bench_thm_fp_rounds"
+  "bench_thm_fp_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm_fp_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

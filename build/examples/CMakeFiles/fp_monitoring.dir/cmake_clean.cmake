@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_monitoring.dir/fp_monitoring.cpp.o"
+  "CMakeFiles/fp_monitoring.dir/fp_monitoring.cpp.o.d"
+  "fp_monitoring"
+  "fp_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

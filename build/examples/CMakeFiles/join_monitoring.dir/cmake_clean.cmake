@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_monitoring.dir/join_monitoring.cpp.o"
+  "CMakeFiles/join_monitoring.dir/join_monitoring.cpp.o.d"
+  "join_monitoring"
+  "join_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

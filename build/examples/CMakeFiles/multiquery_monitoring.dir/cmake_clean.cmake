@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiquery_monitoring.dir/multiquery_monitoring.cpp.o"
+  "CMakeFiles/multiquery_monitoring.dir/multiquery_monitoring.cpp.o.d"
+  "multiquery_monitoring"
+  "multiquery_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiquery_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percentile_monitoring.dir/percentile_monitoring.cpp.o"
+  "CMakeFiles/percentile_monitoring.dir/percentile_monitoring.cpp.o.d"
+  "percentile_monitoring"
+  "percentile_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percentile_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

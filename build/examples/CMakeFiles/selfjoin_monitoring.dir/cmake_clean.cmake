@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfjoin_monitoring.dir/selfjoin_monitoring.cpp.o"
+  "CMakeFiles/selfjoin_monitoring.dir/selfjoin_monitoring.cpp.o.d"
+  "selfjoin_monitoring"
+  "selfjoin_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfjoin_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

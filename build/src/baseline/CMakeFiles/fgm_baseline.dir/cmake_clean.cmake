@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_baseline.dir/central.cc.o"
+  "CMakeFiles/fgm_baseline.dir/central.cc.o.d"
+  "libfgm_baseline.a"
+  "libfgm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

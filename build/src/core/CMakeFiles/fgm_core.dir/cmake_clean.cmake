@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_core.dir/fgm_protocol.cc.o"
+  "CMakeFiles/fgm_core.dir/fgm_protocol.cc.o.d"
+  "CMakeFiles/fgm_core.dir/fgm_site.cc.o"
+  "CMakeFiles/fgm_core.dir/fgm_site.cc.o.d"
+  "CMakeFiles/fgm_core.dir/optimizer.cc.o"
+  "CMakeFiles/fgm_core.dir/optimizer.cc.o.d"
+  "libfgm_core.a"
+  "libfgm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

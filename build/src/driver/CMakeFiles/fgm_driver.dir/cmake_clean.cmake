@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_driver.dir/runner.cc.o"
+  "CMakeFiles/fgm_driver.dir/runner.cc.o.d"
+  "libfgm_driver.a"
+  "libfgm_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_gm.dir/gm_protocol.cc.o"
+  "CMakeFiles/fgm_gm.dir/gm_protocol.cc.o.d"
+  "libfgm_gm.a"
+  "libfgm_gm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

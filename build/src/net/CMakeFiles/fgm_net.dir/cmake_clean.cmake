@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_net.dir/network.cc.o"
+  "CMakeFiles/fgm_net.dir/network.cc.o.d"
+  "CMakeFiles/fgm_net.dir/wire.cc.o"
+  "CMakeFiles/fgm_net.dir/wire.cc.o.d"
+  "libfgm_net.a"
+  "libfgm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/heavy_hitters.cc" "src/query/CMakeFiles/fgm_query.dir/heavy_hitters.cc.o" "gcc" "src/query/CMakeFiles/fgm_query.dir/heavy_hitters.cc.o.d"
+  "/root/repo/src/query/multi.cc" "src/query/CMakeFiles/fgm_query.dir/multi.cc.o" "gcc" "src/query/CMakeFiles/fgm_query.dir/multi.cc.o.d"
+  "/root/repo/src/query/oneshot.cc" "src/query/CMakeFiles/fgm_query.dir/oneshot.cc.o" "gcc" "src/query/CMakeFiles/fgm_query.dir/oneshot.cc.o.d"
+  "/root/repo/src/query/quantile.cc" "src/query/CMakeFiles/fgm_query.dir/quantile.cc.o" "gcc" "src/query/CMakeFiles/fgm_query.dir/quantile.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/fgm_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/fgm_query.dir/query.cc.o.d"
+  "/root/repo/src/query/variance.cc" "src/query/CMakeFiles/fgm_query.dir/variance.cc.o" "gcc" "src/query/CMakeFiles/fgm_query.dir/variance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/fgm_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/safezone/CMakeFiles/fgm_safezone.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/fgm_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_query.dir/heavy_hitters.cc.o"
+  "CMakeFiles/fgm_query.dir/heavy_hitters.cc.o.d"
+  "CMakeFiles/fgm_query.dir/multi.cc.o"
+  "CMakeFiles/fgm_query.dir/multi.cc.o.d"
+  "CMakeFiles/fgm_query.dir/oneshot.cc.o"
+  "CMakeFiles/fgm_query.dir/oneshot.cc.o.d"
+  "CMakeFiles/fgm_query.dir/quantile.cc.o"
+  "CMakeFiles/fgm_query.dir/quantile.cc.o.d"
+  "CMakeFiles/fgm_query.dir/query.cc.o"
+  "CMakeFiles/fgm_query.dir/query.cc.o.d"
+  "CMakeFiles/fgm_query.dir/variance.cc.o"
+  "CMakeFiles/fgm_query.dir/variance.cc.o.d"
+  "libfgm_query.a"
+  "libfgm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/safezone/ball.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/ball.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/ball.cc.o.d"
+  "/root/repo/src/safezone/cheap_bound.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/cheap_bound.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/cheap_bound.cc.o.d"
+  "/root/repo/src/safezone/compose.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/compose.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/compose.cc.o.d"
+  "/root/repo/src/safezone/halfspace.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/halfspace.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/halfspace.cc.o.d"
+  "/root/repo/src/safezone/heavy_hitters_sz.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/heavy_hitters_sz.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/heavy_hitters_sz.cc.o.d"
+  "/root/repo/src/safezone/join_sz.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/join_sz.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/join_sz.cc.o.d"
+  "/root/repo/src/safezone/lifted.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/lifted.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/lifted.cc.o.d"
+  "/root/repo/src/safezone/median_compose.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/median_compose.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/median_compose.cc.o.d"
+  "/root/repo/src/safezone/norm_threshold.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/norm_threshold.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/norm_threshold.cc.o.d"
+  "/root/repo/src/safezone/safe_function.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/safe_function.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/safe_function.cc.o.d"
+  "/root/repo/src/safezone/selfjoin_sz.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/selfjoin_sz.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/selfjoin_sz.cc.o.d"
+  "/root/repo/src/safezone/variance_sz.cc" "src/safezone/CMakeFiles/fgm_safezone.dir/variance_sz.cc.o" "gcc" "src/safezone/CMakeFiles/fgm_safezone.dir/variance_sz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/fgm_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

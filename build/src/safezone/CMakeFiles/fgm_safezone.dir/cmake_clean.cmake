@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_safezone.dir/ball.cc.o"
+  "CMakeFiles/fgm_safezone.dir/ball.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/cheap_bound.cc.o"
+  "CMakeFiles/fgm_safezone.dir/cheap_bound.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/compose.cc.o"
+  "CMakeFiles/fgm_safezone.dir/compose.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/halfspace.cc.o"
+  "CMakeFiles/fgm_safezone.dir/halfspace.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/heavy_hitters_sz.cc.o"
+  "CMakeFiles/fgm_safezone.dir/heavy_hitters_sz.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/join_sz.cc.o"
+  "CMakeFiles/fgm_safezone.dir/join_sz.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/lifted.cc.o"
+  "CMakeFiles/fgm_safezone.dir/lifted.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/median_compose.cc.o"
+  "CMakeFiles/fgm_safezone.dir/median_compose.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/norm_threshold.cc.o"
+  "CMakeFiles/fgm_safezone.dir/norm_threshold.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/safe_function.cc.o"
+  "CMakeFiles/fgm_safezone.dir/safe_function.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/selfjoin_sz.cc.o"
+  "CMakeFiles/fgm_safezone.dir/selfjoin_sz.cc.o.d"
+  "CMakeFiles/fgm_safezone.dir/variance_sz.cc.o"
+  "CMakeFiles/fgm_safezone.dir/variance_sz.cc.o.d"
+  "libfgm_safezone.a"
+  "libfgm_safezone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_safezone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

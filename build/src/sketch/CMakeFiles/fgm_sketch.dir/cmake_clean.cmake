@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_sketch.dir/fast_agms.cc.o"
+  "CMakeFiles/fgm_sketch.dir/fast_agms.cc.o.d"
+  "libfgm_sketch.a"
+  "libfgm_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfgm_sketch.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/drift_stream.cc" "src/stream/CMakeFiles/fgm_stream.dir/drift_stream.cc.o" "gcc" "src/stream/CMakeFiles/fgm_stream.dir/drift_stream.cc.o.d"
+  "/root/repo/src/stream/partition.cc" "src/stream/CMakeFiles/fgm_stream.dir/partition.cc.o" "gcc" "src/stream/CMakeFiles/fgm_stream.dir/partition.cc.o.d"
+  "/root/repo/src/stream/window.cc" "src/stream/CMakeFiles/fgm_stream.dir/window.cc.o" "gcc" "src/stream/CMakeFiles/fgm_stream.dir/window.cc.o.d"
+  "/root/repo/src/stream/worldcup.cc" "src/stream/CMakeFiles/fgm_stream.dir/worldcup.cc.o" "gcc" "src/stream/CMakeFiles/fgm_stream.dir/worldcup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_stream.dir/drift_stream.cc.o"
+  "CMakeFiles/fgm_stream.dir/drift_stream.cc.o.d"
+  "CMakeFiles/fgm_stream.dir/partition.cc.o"
+  "CMakeFiles/fgm_stream.dir/partition.cc.o.d"
+  "CMakeFiles/fgm_stream.dir/window.cc.o"
+  "CMakeFiles/fgm_stream.dir/window.cc.o.d"
+  "CMakeFiles/fgm_stream.dir/worldcup.cc.o"
+  "CMakeFiles/fgm_stream.dir/worldcup.cc.o.d"
+  "libfgm_stream.a"
+  "libfgm_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_util.dir/flags.cc.o"
+  "CMakeFiles/fgm_util.dir/flags.cc.o.d"
+  "CMakeFiles/fgm_util.dir/hash.cc.o"
+  "CMakeFiles/fgm_util.dir/hash.cc.o.d"
+  "CMakeFiles/fgm_util.dir/real_vector.cc.o"
+  "CMakeFiles/fgm_util.dir/real_vector.cc.o.d"
+  "CMakeFiles/fgm_util.dir/rng.cc.o"
+  "CMakeFiles/fgm_util.dir/rng.cc.o.d"
+  "CMakeFiles/fgm_util.dir/stats.cc.o"
+  "CMakeFiles/fgm_util.dir/stats.cc.o.d"
+  "CMakeFiles/fgm_util.dir/subsets.cc.o"
+  "CMakeFiles/fgm_util.dir/subsets.cc.o.d"
+  "CMakeFiles/fgm_util.dir/table.cc.o"
+  "CMakeFiles/fgm_util.dir/table.cc.o.d"
+  "libfgm_util.a"
+  "libfgm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

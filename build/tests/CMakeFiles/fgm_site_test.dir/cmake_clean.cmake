@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgm_site_test.dir/fgm_site_test.cc.o"
+  "CMakeFiles/fgm_site_test.dir/fgm_site_test.cc.o.d"
+  "fgm_site_test"
+  "fgm_site_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgm_site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

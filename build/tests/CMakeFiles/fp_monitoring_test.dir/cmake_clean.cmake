@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_monitoring_test.dir/fp_monitoring_test.cc.o"
+  "CMakeFiles/fp_monitoring_test.dir/fp_monitoring_test.cc.o.d"
+  "fp_monitoring_test"
+  "fp_monitoring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_monitoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safezone_basic_test.dir/safezone_basic_test.cc.o"
+  "CMakeFiles/safezone_basic_test.dir/safezone_basic_test.cc.o.d"
+  "safezone_basic_test"
+  "safezone_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safezone_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

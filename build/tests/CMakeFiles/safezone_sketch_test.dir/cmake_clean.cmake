@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safezone_sketch_test.dir/safezone_sketch_test.cc.o"
+  "CMakeFiles/safezone_sketch_test.dir/safezone_sketch_test.cc.o.d"
+  "safezone_sketch_test"
+  "safezone_sketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safezone_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variability_test.dir/variability_test.cc.o"
+  "CMakeFiles/variability_test.dir/variability_test.cc.o.d"
+  "variability_test"
+  "variability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
