@@ -208,7 +208,8 @@ bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o: \
  /root/repo/src/stream/record.h /root/repo/src/stream/partition.h \
  /root/repo/src/stream/worldcup.h /root/repo/src/util/table.h \
  /root/repo/src/core/fgm_protocol.h /root/repo/src/core/fgm_config.h \
- /root/repo/src/core/fgm_site.h /root/repo/src/core/optimizer.h \
+ /root/repo/src/core/fgm_site.h /root/repo/src/net/wire.h \
+ /root/repo/src/core/optimizer.h /root/repo/src/net/transport.h \
  /root/repo/src/safezone/cheap_bound.h /root/repo/src/util/stats.h \
  /root/repo/src/gm/gm_protocol.h /root/repo/src/util/rng.h \
  /root/repo/src/stream/window.h /usr/include/c++/12/deque \

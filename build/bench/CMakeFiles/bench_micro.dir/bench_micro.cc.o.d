@@ -239,13 +239,14 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/benchmark/export.h \
  /usr/include/c++/12/atomic /root/repo/src/core/fgm_protocol.h \
- /root/repo/src/core/fgm_config.h /root/repo/src/core/fgm_site.h \
- /root/repo/src/safezone/safe_function.h \
+ /root/repo/src/core/fgm_config.h /root/repo/src/net/network.h \
+ /usr/include/c++/12/array /root/repo/src/core/fgm_site.h \
+ /root/repo/src/net/wire.h /root/repo/src/stream/record.h \
  /root/repo/src/util/real_vector.h /root/repo/src/util/check.h \
+ /root/repo/src/safezone/safe_function.h \
  /root/repo/src/sketch/fast_agms.h /root/repo/src/util/hash.h \
- /usr/include/c++/12/array /root/repo/src/core/optimizer.h \
- /root/repo/src/net/network.h /root/repo/src/net/protocol.h \
- /root/repo/src/query/query.h /root/repo/src/stream/record.h \
+ /root/repo/src/core/optimizer.h /root/repo/src/net/protocol.h \
+ /root/repo/src/query/query.h /root/repo/src/net/transport.h \
  /root/repo/src/safezone/cheap_bound.h /root/repo/src/util/stats.h \
  /root/repo/src/safezone/join_sz.h \
  /root/repo/src/safezone/median_compose.h \

@@ -222,14 +222,15 @@ bench/CMakeFiles/bench_thm_fp_rounds.dir/bench_thm_fp_rounds.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/fgm_config.h \
- /root/repo/src/core/fgm_site.h /root/repo/src/safezone/safe_function.h \
- /usr/include/c++/12/cstddef /root/repo/src/util/real_vector.h \
- /root/repo/src/util/check.h /root/repo/src/sketch/fast_agms.h \
- /root/repo/src/util/hash.h /usr/include/c++/12/array \
- /root/repo/src/core/optimizer.h /root/repo/src/net/network.h \
- /root/repo/src/net/protocol.h /root/repo/src/query/query.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/stream/record.h /root/repo/src/safezone/cheap_bound.h \
- /root/repo/src/util/stats.h /root/repo/src/query/oneshot.h \
- /root/repo/src/safezone/norm_threshold.h /root/repo/src/util/rng.h \
- /root/repo/src/util/table.h
+ /root/repo/src/net/network.h /usr/include/c++/12/array \
+ /root/repo/src/core/fgm_site.h /root/repo/src/net/wire.h \
+ /root/repo/src/stream/record.h /root/repo/src/util/real_vector.h \
+ /usr/include/c++/12/cstddef /root/repo/src/util/check.h \
+ /root/repo/src/safezone/safe_function.h \
+ /root/repo/src/sketch/fast_agms.h /root/repo/src/util/hash.h \
+ /root/repo/src/core/optimizer.h /root/repo/src/net/protocol.h \
+ /root/repo/src/query/query.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/transport.h \
+ /root/repo/src/safezone/cheap_bound.h /root/repo/src/util/stats.h \
+ /root/repo/src/query/oneshot.h /root/repo/src/safezone/norm_threshold.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/table.h

@@ -199,20 +199,21 @@ examples/CMakeFiles/multiquery_monitoring.dir/multiquery_monitoring.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/fgm_config.h \
- /root/repo/src/core/fgm_site.h /root/repo/src/safezone/safe_function.h \
- /usr/include/c++/12/cstddef /root/repo/src/util/real_vector.h \
- /root/repo/src/util/check.h /root/repo/src/sketch/fast_agms.h \
- /root/repo/src/util/hash.h /usr/include/c++/12/array \
- /root/repo/src/core/optimizer.h /root/repo/src/net/network.h \
- /root/repo/src/net/protocol.h /root/repo/src/query/query.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/stream/record.h /root/repo/src/safezone/cheap_bound.h \
- /root/repo/src/util/stats.h /root/repo/src/query/multi.h \
- /root/repo/src/query/variance.h /root/repo/src/stream/window.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/stream/worldcup.h \
- /root/repo/src/util/flags.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/net/network.h /usr/include/c++/12/array \
+ /root/repo/src/core/fgm_site.h /root/repo/src/net/wire.h \
+ /root/repo/src/stream/record.h /root/repo/src/util/real_vector.h \
+ /usr/include/c++/12/cstddef /root/repo/src/util/check.h \
+ /root/repo/src/safezone/safe_function.h \
+ /root/repo/src/sketch/fast_agms.h /root/repo/src/util/hash.h \
+ /root/repo/src/core/optimizer.h /root/repo/src/net/protocol.h \
+ /root/repo/src/query/query.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/transport.h \
+ /root/repo/src/safezone/cheap_bound.h /root/repo/src/util/stats.h \
+ /root/repo/src/query/multi.h /root/repo/src/query/variance.h \
+ /root/repo/src/stream/window.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/stream/worldcup.h /root/repo/src/util/flags.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

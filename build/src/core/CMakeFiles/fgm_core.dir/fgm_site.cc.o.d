@@ -197,9 +197,10 @@ src/core/CMakeFiles/fgm_core.dir/fgm_site.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/safezone/safe_function.h /usr/include/c++/12/cstddef \
- /root/repo/src/util/real_vector.h /root/repo/src/util/check.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/net/wire.h \
+ /root/repo/src/stream/record.h /root/repo/src/util/real_vector.h \
+ /usr/include/c++/12/cstddef /root/repo/src/util/check.h \
+ /root/repo/src/safezone/safe_function.h \
  /root/repo/src/sketch/fast_agms.h /root/repo/src/util/hash.h \
  /usr/include/c++/12/array /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

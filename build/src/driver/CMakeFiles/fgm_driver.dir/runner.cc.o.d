@@ -239,7 +239,8 @@ src/driver/CMakeFiles/fgm_driver.dir/runner.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/baseline/central.h /root/repo/src/core/fgm_config.h \
+ /root/repo/src/baseline/central.h /root/repo/src/net/transport.h \
+ /root/repo/src/net/wire.h /root/repo/src/core/fgm_config.h \
  /root/repo/src/query/quantile.h /root/repo/src/query/variance.h \
  /root/repo/src/core/fgm_protocol.h /root/repo/src/core/fgm_site.h \
  /root/repo/src/core/optimizer.h /root/repo/src/safezone/cheap_bound.h \

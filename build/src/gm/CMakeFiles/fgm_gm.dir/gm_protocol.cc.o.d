@@ -204,7 +204,8 @@ src/gm/CMakeFiles/fgm_gm.dir/gm_protocol.cc.o: \
  /root/repo/src/safezone/safe_function.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/real_vector.h /root/repo/src/util/check.h \
  /root/repo/src/sketch/fast_agms.h /root/repo/src/util/hash.h \
- /root/repo/src/stream/record.h /root/repo/src/util/rng.h \
+ /root/repo/src/stream/record.h /root/repo/src/net/transport.h \
+ /root/repo/src/net/wire.h /root/repo/src/util/rng.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/network.cc" "src/net/CMakeFiles/fgm_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/fgm_net.dir/network.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/fgm_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/fgm_net.dir/transport.cc.o.d"
   "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/fgm_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/fgm_net.dir/wire.cc.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/fgm_net.dir/network.cc.o"
   "CMakeFiles/fgm_net.dir/network.cc.o.d"
+  "CMakeFiles/fgm_net.dir/transport.cc.o"
+  "CMakeFiles/fgm_net.dir/transport.cc.o.d"
   "CMakeFiles/fgm_net.dir/wire.cc.o"
   "CMakeFiles/fgm_net.dir/wire.cc.o.d"
   "libfgm_net.a"

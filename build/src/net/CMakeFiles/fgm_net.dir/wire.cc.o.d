@@ -57,8 +57,8 @@ src/net/CMakeFiles/fgm_net.dir/wire.cc.o: /root/repo/src/net/wire.cc \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/real_vector.h \
- /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/stream/record.h \
+ /root/repo/src/util/real_vector.h /usr/include/c++/12/cstddef \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /root/repo/src/util/check.h /usr/include/c++/12/cstdio \
  /usr/include/stdio.h /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \

@@ -293,7 +293,8 @@ tests/CMakeFiles/fgm_site_test.dir/fgm_site_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/fgm_site.h /root/repo/src/safezone/safe_function.h \
- /root/repo/src/util/real_vector.h /root/repo/src/util/check.h \
+ /root/repo/src/core/fgm_site.h /root/repo/src/net/wire.h \
+ /root/repo/src/stream/record.h /root/repo/src/util/real_vector.h \
+ /root/repo/src/util/check.h /root/repo/src/safezone/safe_function.h \
  /root/repo/src/sketch/fast_agms.h /root/repo/src/util/hash.h \
  /root/repo/src/safezone/halfspace.h

@@ -317,13 +317,15 @@ tests/CMakeFiles/heavy_hitters_test.dir/heavy_hitters_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/fgm_protocol.h /root/repo/src/core/fgm_config.h \
- /root/repo/src/core/fgm_site.h /root/repo/src/safezone/safe_function.h \
+ /root/repo/src/net/network.h /root/repo/src/core/fgm_site.h \
+ /root/repo/src/net/wire.h /root/repo/src/stream/record.h \
  /root/repo/src/util/real_vector.h /root/repo/src/util/check.h \
+ /root/repo/src/safezone/safe_function.h \
  /root/repo/src/sketch/fast_agms.h /root/repo/src/util/hash.h \
- /root/repo/src/core/optimizer.h /root/repo/src/net/network.h \
- /root/repo/src/net/protocol.h /root/repo/src/query/query.h \
- /root/repo/src/stream/record.h /root/repo/src/safezone/cheap_bound.h \
- /root/repo/src/util/stats.h /root/repo/src/query/heavy_hitters.h \
+ /root/repo/src/core/optimizer.h /root/repo/src/net/protocol.h \
+ /root/repo/src/query/query.h /root/repo/src/net/transport.h \
+ /root/repo/src/safezone/cheap_bound.h /root/repo/src/util/stats.h \
+ /root/repo/src/query/heavy_hitters.h \
  /root/repo/src/safezone/heavy_hitters_sz.h \
  /root/repo/src/stream/window.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

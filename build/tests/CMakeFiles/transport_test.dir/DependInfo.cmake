@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport_test.cc" "tests/CMakeFiles/transport_test.dir/transport_test.cc.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/fgm_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gm/CMakeFiles/fgm_gm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fgm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fgm_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/safezone/CMakeFiles/fgm_safezone.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/fgm_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/fgm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fgm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fgm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -293,6 +293,7 @@ tests/CMakeFiles/wire_test.dir/wire_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/net/wire.h /root/repo/src/util/real_vector.h \
- /root/repo/src/util/check.h /root/repo/src/safezone/cheap_bound.h \
+ /root/repo/src/net/wire.h /root/repo/src/stream/record.h \
+ /root/repo/src/util/real_vector.h /root/repo/src/util/check.h \
+ /root/repo/src/safezone/cheap_bound.h \
  /root/repo/src/safezone/safe_function.h /root/repo/src/util/rng.h

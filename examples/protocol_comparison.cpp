@@ -4,6 +4,11 @@
 //
 //   ./build/examples/protocol_comparison [--updates=400000] [--sites=27]
 //       [--eps=0.1] [--window=14400] [--query=selfjoin|join]
+//       [--strict_wire]
+//
+// --strict_wire routes every protocol message through the serializing
+// transport (encode → size-check → decode → verify); the reported costs
+// are identical either way — that is the point of the check.
 
 #include <cstdio>
 #include <string>
@@ -20,6 +25,7 @@ int main(int argc, char** argv) {
   const double eps = flags.GetDouble("eps", 0.1);
   const double window = flags.GetDouble("window", 14400.0);
   const std::string query_name = flags.GetString("query", "selfjoin");
+  const bool strict_wire = flags.GetBool("strict_wire", false);
 
   fgm::WorldCupConfig wc;
   wc.sites = sites;
@@ -35,11 +41,13 @@ int main(int argc, char** argv) {
   config.epsilon = eps;
   config.window_seconds = window;
   config.check_every = 5000;
+  config.strict_wire = strict_wire;
 
   std::printf("Protocol comparison on %s, %lld updates, %d sites, "
-              "eps=%.3g, TW=%.1fh\n",
+              "eps=%.3g, TW=%.1fh%s\n",
               query_name.c_str(), static_cast<long long>(updates), sites,
-              eps, window / 3600.0);
+              eps, window / 3600.0,
+              strict_wire ? ", strict wire accounting" : "");
 
   fgm::TablePrinter table({"protocol", "comm.cost (words/update)",
                            "upstream%", "rounds", "estimate", "truth",

@@ -4,10 +4,11 @@
 
 namespace fgm {
 
-CentralProtocol::CentralProtocol(const ContinuousQuery* query, int num_sites)
+CentralProtocol::CentralProtocol(const ContinuousQuery* query, int num_sites,
+                                 TransportMode transport)
     : query_(query),
       sites_k_(num_sites),
-      network_(num_sites),
+      transport_(MakeTransport(transport, num_sites)),
       state_(query->dimension()) {
   FGM_CHECK(query != nullptr);
   FGM_CHECK_GE(num_sites, 1);
@@ -15,9 +16,12 @@ CentralProtocol::CentralProtocol(const ContinuousQuery* query, int num_sites)
 
 void CentralProtocol::ProcessRecord(const StreamRecord& record) {
   FGM_CHECK(record.site >= 0 && record.site < sites_k_);
-  network_.Downstream(record.site, MsgKind::kRawUpdate, 1);
+  // The update crosses the wire verbatim; the coordinator projects the
+  // DELIVERED record (normally 1 word; 2 for keys beyond 62 bits).
+  const RawUpdateMsg delivered = transport_->SendRawUpdate(
+      record.site, RawUpdateMsg::FromRecord(record));
   delta_scratch_.clear();
-  query_->MapRecord(record, &delta_scratch_);
+  query_->MapRecord(delivered.ToRecord(record.site), &delta_scratch_);
   // Global state is the *average* of local states (§2.1): each update
   // contributes its deltas scaled by 1/k.
   const double inv_k = 1.0 / static_cast<double>(sites_k_);

@@ -9,31 +9,37 @@
 #ifndef FGM_BASELINE_CENTRAL_H_
 #define FGM_BASELINE_CENTRAL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/network.h"
 #include "net/protocol.h"
+#include "net/transport.h"
 #include "query/query.h"
 
 namespace fgm {
 
 class CentralProtocol : public MonitoringProtocol {
  public:
-  CentralProtocol(const ContinuousQuery* query, int num_sites);
+  CentralProtocol(const ContinuousQuery* query, int num_sites,
+                  TransportMode transport = TransportMode::kAuto);
 
   std::string name() const override { return "CENTRAL"; }
   void ProcessRecord(const StreamRecord& record) override;
   const RealVector& GlobalEstimate() const override { return state_; }
   double Estimate() const override;
   ThresholdPair CurrentThresholds() const override;
-  const TrafficStats& traffic() const override { return network_.stats(); }
+  const TrafficStats& traffic() const override { return transport_->stats(); }
   int64_t rounds() const override { return 0; }
+
+  /// The transport carrying this protocol's messages (testing hook).
+  const Transport& transport() const { return *transport_; }
 
  private:
   const ContinuousQuery* query_;
   int sites_k_;
-  SimNetwork network_;
+  std::unique_ptr<Transport> transport_;
   RealVector state_;  // exact global state, scaled by 1/k
   std::vector<CellUpdate> delta_scratch_;
 };

@@ -5,9 +5,17 @@
 
 #include <cstdint>
 
+#include "net/network.h"
+
 namespace fgm {
 
 struct FgmConfig {
+  /// How protocol messages travel: counting-only (fast simulation) or the
+  /// strict serializing path that encodes/decodes every message and
+  /// cross-checks charged vs encoded words. kAuto follows the
+  /// FGM_STRICT_WIRE environment variable.
+  TransportMode transport = TransportMode::kAuto;
+
   /// ε_ψ of §2.4: subrounds end when ψ ≥ ε_ψ·k·φ(0). The paper uses 0.01
   /// throughout and so do we.
   double eps_psi = 0.01;
@@ -56,11 +64,12 @@ struct FgmConfig {
   /// Bisection tolerance for µ* as a fraction of |φ(0)|.
   double bisection_tol = 1e-3;
 
-  /// Hard cap on subrounds per round — a runaway-loop backstop only. Note
-  /// that with rebalancing a round can legitimately last very long: when
-  /// the balance vector keeps cancelling itself (stationary windowed
-  /// streams), λ stays near 1 and the round keeps being extended, which
-  /// is the desired behaviour.
+  /// Cap on subrounds per round — a runaway-loop backstop only. Hitting
+  /// it forces the round to end (counted in overflow_rounds()) instead of
+  /// aborting the run. Note that with rebalancing a round can
+  /// legitimately last very long: when the balance vector keeps
+  /// cancelling itself (stationary windowed streams), λ stays near 1 and
+  /// the round keeps being extended, which is the desired behaviour.
   int64_t max_subrounds_per_round = int64_t{1} << 40;
 };
 

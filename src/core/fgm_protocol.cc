@@ -12,17 +12,18 @@ FgmProtocol::FgmProtocol(const ContinuousQuery* query, int num_sites,
     : query_(query),
       sites_k_(num_sites),
       config_(config),
-      network_(num_sites),
+      transport_(MakeTransport(config.transport, num_sites)),
       estimate_(query->dimension()),
       balance_(query->dimension()) {
   FGM_CHECK(query != nullptr);
   FGM_CHECK_GE(num_sites, 1);
   FGM_CHECK_GT(config_.eps_psi, 0.0);
   FGM_CHECK_LT(config_.eps_psi, 1.0);
+  FGM_CHECK_GE(config_.max_subrounds_per_round, 1);
   sites_.reserve(static_cast<size_t>(num_sites));
   round_drift_.reserve(static_cast<size_t>(num_sites));
   for (int i = 0; i < num_sites; ++i) {
-    sites_.emplace_back(i);
+    sites_.emplace_back(i, query->dimension());
     round_drift_.emplace_back(query->dimension());
   }
   plan_.assign(static_cast<size_t>(num_sites), 1);
@@ -43,11 +44,12 @@ void FgmProtocol::ProcessRecord(const StreamRecord& record) {
   query_->MapRecord(record, &delta_scratch_);
   ++total_updates_;
   FgmSite& site = sites_[static_cast<size_t>(record.site)];
-  const int64_t increment = site.ApplyUpdate(delta_scratch_);
+  const int64_t increment = site.ApplyUpdate(record, delta_scratch_);
   if (increment > 0) {
     // One-word message carrying the increase to c_i.
-    network_.Downstream(record.site, MsgKind::kCounter, 1);
-    counter_total_ += increment;
+    const CounterMsg delivered =
+        transport_->SendCounter(record.site, CounterMsg{increment});
+    counter_total_ += delivered.increment;
     if (counter_total_ > sites_k_) PollAndAdvance();
   }
 }
@@ -57,7 +59,7 @@ void FgmProtocol::StartRound() {
   // (feedback guard input), then snapshot for the new round.
   if (rounds_ > 0 && config_.optimizer) {
     const int64_t words =
-        network_.stats().total_words() - round_start_words_;
+        transport_->stats().total_words() - round_start_words_;
     const int64_t updates = total_updates_ - round_start_updates_;
     if (updates > 0) {
       int64_t full_count = 0;
@@ -73,7 +75,7 @@ void FgmProtocol::StartRound() {
       ++class_cost_count_[cls];
     }
   }
-  round_start_words_ = network_.stats().total_words();
+  round_start_words_ = transport_->stats().total_words();
   round_start_updates_ = total_updates_;
 
   ++rounds_;
@@ -127,18 +129,18 @@ void FgmProtocol::StartRound() {
     plan_.assign(static_cast<size_t>(sites_k_), 1);
   }
 
-  const int64_t full_words = static_cast<int64_t>(query_->dimension());
   for (int i = 0; i < sites_k_; ++i) {
     FgmSite& site = sites_[static_cast<size_t>(i)];
     if (plan_[static_cast<size_t>(i)]) {
       // Ship E; the site reconstructs φ from it (§2.4 step 1).
-      network_.Upstream(i, MsgKind::kSafeZone, full_words);
+      transport_->ShipSafeZone(i, SafeZoneMsg{estimate_});
       site.BeginRound(safe_fn_.get());
       ++full_function_ships_;
     } else {
       // Ship the 3-word cheap bound (§4.2.1).
-      network_.Upstream(i, MsgKind::kSafeZone,
-                        CheapBoundFunction::kShippingWords);
+      transport_->ShipCheapZone(
+          i, CheapZoneMsg{cheap_fn_->LipschitzBound(), 1.0,
+                          cheap_fn_->AtZero()});
       site.BeginRound(cheap_fn_.get());
     }
     ++total_function_ships_;
@@ -157,12 +159,14 @@ void FgmProtocol::StartSubround(double psi_total) {
   FGM_CHECK_LT(psi_total, 0.0);
   last_psi_ = psi_total;
   const double quantum = -psi_total / (2.0 * static_cast<double>(sites_k_));
-  network_.Broadcast(MsgKind::kQuantum, 1);
-  for (FgmSite& site : sites_) site.BeginSubround(quantum);
+  for (FgmSite& site : sites_) {
+    const QuantumMsg delivered =
+        transport_->ShipQuantum(site.id(), QuantumMsg{quantum});
+    site.BeginSubround(delivered.theta);
+  }
   counter_total_ = 0;
   ++subrounds_;
   ++subrounds_this_round_;
-  FGM_CHECK_LE(subrounds_this_round_, config_.max_subrounds_per_round);
 }
 
 void FgmProtocol::PollAndAdvance() {
@@ -170,10 +174,12 @@ void FgmProtocol::PollAndAdvance() {
   double psi = 0.0;
   double delta_psi = 0.0;  // Δψ_n of §2.5.1: Σ_i (sup Φ_i,n - inf Φ_i,n)
   for (int i = 0; i < sites_k_; ++i) {
-    network_.Upstream(i, MsgKind::kControl, 1);
-    network_.Downstream(i, MsgKind::kPhiValue, 1);
-    psi += sites_[static_cast<size_t>(i)].CurrentValue();
-    delta_psi += sites_[static_cast<size_t>(i)].SubroundValueRange();
+    const FgmSite& site = sites_[static_cast<size_t>(i)];
+    transport_->ShipControl(i, ControlMsg{ControlOp::kPollPhi});
+    const PhiValueMsg reply =
+        transport_->SendPhiValue(i, PhiValueMsg{site.CurrentValue()});
+    psi += reply.value;
+    delta_psi += site.SubroundValueRange();
   }
   last_psi_ = psi + psi_b_;
   if (last_psi_ != 0.0) {
@@ -192,6 +198,10 @@ void FgmProtocol::PollAndAdvance() {
     // A mispredicted cheap plan is burning subround overhead; cut the
     // round so the feedback guard can redirect the next one.
     EndRound(/*already_flushed=*/false);
+  } else if (subrounds_this_round_ >= config_.max_subrounds_per_round) {
+    // Subround cap reached: end the round instead of aborting the run.
+    ++overflow_rounds_;
+    EndRound(/*already_flushed=*/false);
   } else {
     StartSubround(last_psi_);
   }
@@ -207,27 +217,26 @@ bool FgmProtocol::CheapRoundOverBudget() const {
       k * static_cast<double>(query_->dimension()) +
       (3.0 * k + 1.0) * std::log2(1.0 / config_.eps_psi) + 4.0 * k;
   const double spent = static_cast<double>(
-      network_.stats().total_words() - round_start_words_);
+      transport_->stats().total_words() - round_start_words_);
   return spent > config_.feedback_budget_factor * full_round_words;
 }
 
 void FgmProtocol::FlushAllSites() {
-  const int64_t full_words = static_cast<int64_t>(query_->dimension());
   for (int i = 0; i < sites_k_; ++i) {
     FgmSite& site = sites_[static_cast<size_t>(i)];
-    network_.Upstream(i, MsgKind::kControl, 1);  // flush request
-    const int64_t n = site.updates_since_flush();
-    if (n > 0) {
-      // The site ships either the dense drift or the raw updates,
-      // whichever is smaller, plus its update count (§2.1, §4.2.4).
-      network_.Downstream(i, MsgKind::kDriftFlush,
-                          std::min(full_words, n) + 1);
-      balance_ += site.drift();
-      round_drift_[static_cast<size_t>(i)] += site.drift();
+    transport_->ShipControl(i, ControlMsg{ControlOp::kFlushRequest});
+    // The site ships either the dense drift or the verbatim raw updates,
+    // whichever is smaller, plus its update count (§2.1, §4.2.4). The
+    // message itself is the single definition of the flush cost; an
+    // empty-stream site's flush is the 1-word acknowledgement (§5.4).
+    const DriftFlushMsg delivered =
+        transport_->SendDriftFlush(i, site.MakeFlushMsg());
+    if (delivered.update_count > 0) {
+      const RealVector& drift =
+          DeliveredDrift(delivered, *query_, i, &flush_scratch_);
+      balance_ += drift;
+      round_drift_[static_cast<size_t>(i)] += drift;
       site.FlushReset();
-    } else {
-      // Empty-stream sites only acknowledge (≈0 cost, §5.4).
-      network_.Downstream(i, MsgKind::kDriftFlush, 1);
     }
   }
 }
@@ -262,6 +271,13 @@ double FgmProtocol::FindMuStar() const {
 }
 
 void FgmProtocol::TryRebalance() {
+  // The subround cap also bounds rebalancing-extended rounds: end the
+  // round gracefully instead of stretching it further.
+  if (subrounds_this_round_ >= config_.max_subrounds_per_round) {
+    ++overflow_rounds_;
+    EndRound(/*already_flushed=*/false);
+    return;
+  }
   // Rebalancing buys longer rounds at the price of extra subround
   // overhead; when the next round's zone shipping is nearly free (e.g.
   // the optimizer chose cheap bounds everywhere), ending the round is
@@ -300,8 +316,11 @@ void FgmProtocol::TryRebalance() {
   const double stop_level = config_.eps_psi * k * phi_zero_;
   if (psi + psi_b_ <= stop_level) {
     ++rebalances_;
-    network_.Broadcast(MsgKind::kLambda, 1);
-    for (FgmSite& site : sites_) site.SetLambda(lambda_);
+    for (FgmSite& site : sites_) {
+      const LambdaMsg delivered =
+          transport_->ShipLambda(site.id(), LambdaMsg{lambda_});
+      site.SetLambda(delivered.lambda);
+    }
     StartSubround(psi + psi_b_);
   } else {
     EndRound(/*already_flushed=*/true);
@@ -345,7 +364,7 @@ void FgmProtocol::EndRound(bool already_flushed) {
 }
 
 int64_t FgmProtocol::SubroundWords() const {
-  const TrafficStats& t = network_.stats();
+  const TrafficStats& t = transport_->stats();
   // Quantum broadcast (k), φ-value replies (k) and counter increments
   // (≤ k+1) — the paper's 3k+1 words per subround. Poll/flush requests
   // are charged as kControl and excluded here.

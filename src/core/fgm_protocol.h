@@ -9,8 +9,13 @@
 // rebalances (flush drifts into the balance vector B, rescale by λ), or
 // ends the round by folding the collected drift into E.
 //
-// The simulation is synchronous: message handling happens inline, with
-// every word that the real protocol would transmit charged to SimNetwork.
+// The simulation is synchronous, but every coordinator ↔ site interaction
+// goes through the Transport as a typed wire message (net/wire.h): the
+// receiving side acts on the DELIVERED message, and every word the real
+// protocol would transmit is charged by the transport. Under
+// TransportMode::kSerializing each message is additionally encoded,
+// cross-checked against the charge, decoded and verified (strict wire
+// accounting).
 
 #ifndef FGM_CORE_FGM_PROTOCOL_H_
 #define FGM_CORE_FGM_PROTOCOL_H_
@@ -25,6 +30,7 @@
 #include "core/optimizer.h"
 #include "net/network.h"
 #include "net/protocol.h"
+#include "net/transport.h"
 #include "query/query.h"
 #include "safezone/cheap_bound.h"
 #include "safezone/safe_function.h"
@@ -42,7 +48,7 @@ class FgmProtocol : public MonitoringProtocol {
   const RealVector& GlobalEstimate() const override { return estimate_; }
   double Estimate() const override { return query_value_; }
   ThresholdPair CurrentThresholds() const override { return thresholds_; }
-  const TrafficStats& traffic() const override { return network_.stats(); }
+  const TrafficStats& traffic() const override { return transport_->stats(); }
   int64_t rounds() const override { return rounds_; }
   bool BoundsCertified() const override { return counter_total_ <= sites_k_; }
 
@@ -74,6 +80,13 @@ class FgmProtocol : public MonitoringProtocol {
   /// plan (diagnostics).
   int64_t cheap_plan_overrides() const { return cheap_overrides_; }
 
+  /// Rounds forcibly ended because the subround cap was hit (graceful
+  /// degradation instead of aborting the run).
+  int64_t overflow_rounds() const { return overflow_rounds_; }
+
+  /// The transport carrying this protocol's messages (testing hook).
+  const Transport& transport() const { return *transport_; }
+
  private:
   void StartRound();
   void StartSubround(double psi_total);
@@ -91,7 +104,7 @@ class FgmProtocol : public MonitoringProtocol {
   const ContinuousQuery* query_;
   int sites_k_;
   FgmConfig config_;
-  SimNetwork network_;
+  std::unique_ptr<Transport> transport_;
 
   RealVector estimate_;  // E
   double query_value_ = 0.0;
@@ -136,11 +149,13 @@ class FgmProtocol : public MonitoringProtocol {
   int64_t rounds_ = 0;
   int64_t subrounds_ = 0;
   int64_t rebalances_ = 0;
+  int64_t overflow_rounds_ = 0;
   CountHistogram subround_histogram_{64};
   int64_t full_function_ships_ = 0;
   int64_t total_function_ships_ = 0;
 
   std::vector<CellUpdate> delta_scratch_;
+  RealVector flush_scratch_;  // verbatim-flush re-projection target
 };
 
 }  // namespace fgm

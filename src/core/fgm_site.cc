@@ -15,6 +15,7 @@ void FgmSite::BeginRound(const SafeFunction* fn) {
   counter_ = 0;
   updates_since_flush_ = 0;
   updates_in_round_ = 0;
+  log_.Reset();
 }
 
 void FgmSite::BeginSubround(double quantum) {
@@ -26,7 +27,20 @@ void FgmSite::BeginSubround(double quantum) {
   counter_ = 0;
 }
 
+int64_t FgmSite::ApplyUpdate(const StreamRecord& record,
+                             const std::vector<CellUpdate>& deltas) {
+  log_.Record(record, dim_);
+  return ApplyDeltas(deltas);
+}
+
 int64_t FgmSite::ApplyUpdate(const std::vector<CellUpdate>& deltas) {
+  // An update the log does not see desynchronizes it from the drift; the
+  // record-taking overload keeps it live.
+  log_.Invalidate();
+  return ApplyDeltas(deltas);
+}
+
+int64_t FgmSite::ApplyDeltas(const std::vector<CellUpdate>& deltas) {
   for (const CellUpdate& u : deltas) {
     evaluator_->ApplyDelta(u.index, u.delta);
   }
@@ -50,6 +64,7 @@ int64_t FgmSite::ApplyUpdate(const std::vector<CellUpdate>& deltas) {
 void FgmSite::FlushReset() {
   evaluator_->Reset();
   updates_since_flush_ = 0;
+  log_.Reset();
 }
 
 }  // namespace fgm

@@ -14,14 +14,18 @@
 #include <memory>
 #include <vector>
 
+#include "net/wire.h"
 #include "safezone/safe_function.h"
 #include "sketch/fast_agms.h"
+#include "stream/record.h"
 
 namespace fgm {
 
 class FgmSite {
  public:
-  explicit FgmSite(int id) : id_(id) {}
+  /// `dim` is the state dimension D, bounding the raw-update log the site
+  /// keeps for the verbatim drift representation.
+  FgmSite(int id, size_t dim) : id_(id), dim_(dim) {}
 
   int id() const { return id_; }
 
@@ -35,7 +39,13 @@ class FgmSite {
   void SetLambda(double lambda) { lambda_ = lambda; }
 
   /// Applies the deltas of one local stream update and returns the
-  /// counter increment to report (0 = stay silent).
+  /// counter increment to report (0 = stay silent). The record is logged
+  /// for the verbatim drift representation.
+  int64_t ApplyUpdate(const StreamRecord& record,
+                      const std::vector<CellUpdate>& deltas);
+
+  /// Delta-only variant (unit tests); forfeits the verbatim
+  /// representation for the current flush interval.
   int64_t ApplyUpdate(const std::vector<CellUpdate>& deltas);
 
   /// The value the site currently reports: λφ(X_i/λ).
@@ -48,6 +58,12 @@ class FgmSite {
   /// The current drift vector (flushed to the coordinator).
   const RealVector& drift() const { return evaluator_->drift(); }
 
+  /// Builds the flush message for the coordinator: the update count plus
+  /// the cheaper of the dense drift and the verbatim raw-update log.
+  DriftFlushMsg MakeFlushMsg() const {
+    return DriftFlushMsg::ForFlush(drift(), updates_since_flush_, log_);
+  }
+
   /// Resets the drift to 0 after a flush; keeps round bookkeeping.
   void FlushReset();
 
@@ -56,7 +72,11 @@ class FgmSite {
   int64_t counter() const { return counter_; }
 
  private:
+  int64_t ApplyDeltas(const std::vector<CellUpdate>& deltas);
+
   int id_;
+  size_t dim_;
+  RawUpdateLog log_;
   std::unique_ptr<DriftEvaluator> evaluator_;
   double lambda_ = 1.0;
   double quantum_ = 1.0;

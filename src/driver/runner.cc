@@ -66,24 +66,31 @@ std::unique_ptr<ContinuousQuery> MakeQuery(const RunConfig& config) {
 
 std::unique_ptr<MonitoringProtocol> MakeProtocol(
     const RunConfig& config, const ContinuousQuery* query) {
+  // kAuto still honours the FGM_STRICT_WIRE environment variable.
+  const TransportMode mode = config.strict_wire ? TransportMode::kSerializing
+                                                : TransportMode::kAuto;
   switch (config.protocol) {
     case ProtocolKind::kCentral:
-      return std::make_unique<CentralProtocol>(query, config.sites);
+      return std::make_unique<CentralProtocol>(query, config.sites, mode);
     case ProtocolKind::kGm: {
       GmConfig gm;
+      gm.transport = mode;
       return std::make_unique<GmProtocol>(query, config.sites, gm);
     }
     case ProtocolKind::kFgmBasic: {
       FgmConfig fgm;
+      fgm.transport = mode;
       fgm.rebalance = false;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgm: {
       FgmConfig fgm;
+      fgm.transport = mode;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgmOpt: {
       FgmConfig fgm;
+      fgm.transport = mode;
       fgm.optimizer = true;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
@@ -151,6 +158,7 @@ RunResult Run(const RunConfig& config,
   if (auto* fgm = dynamic_cast<FgmProtocol*>(protocol.get())) {
     result.subrounds = fgm->subrounds();
     result.rebalances = fgm->rebalances();
+    result.overflow_rounds = fgm->overflow_rounds();
     result.mean_full_function_fraction = fgm->mean_full_function_fraction();
   }
 

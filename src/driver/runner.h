@@ -66,6 +66,11 @@ struct RunConfig {
   /// Verify the monitoring guarantee against exact ground truth every this
   /// many events (0 = never). Verification is O(D) per check.
   int64_t check_every = 0;
+
+  /// Route every protocol message through the serializing transport, which
+  /// encodes, size-checks, decodes and verifies each one (strict wire
+  /// accounting). Off: the transport follows FGM_STRICT_WIRE.
+  bool strict_wire = false;
 };
 
 struct RunResult {
@@ -93,6 +98,8 @@ struct RunResult {
   // FGM-specific diagnostics (0 for other protocols).
   int64_t subrounds = 0;
   int64_t rebalances = 0;
+  /// Rounds force-ended at the subround cap instead of aborting.
+  int64_t overflow_rounds = 0;
   double mean_full_function_fraction = 0.0;
 };
 

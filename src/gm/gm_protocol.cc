@@ -18,7 +18,7 @@ GmProtocol::GmProtocol(const ContinuousQuery* query, int num_sites,
     : query_(query),
       sites_k_(num_sites),
       config_(config),
-      network_(num_sites),
+      transport_(MakeTransport(config.transport, num_sites)),
       rng_(config.seed),
       estimate_(query->dimension()),
       sites_(static_cast<size_t>(num_sites)) {
@@ -33,12 +33,13 @@ void GmProtocol::StartRound() {
   thresholds_ = query_->Thresholds(estimate_);
   safe_fn_ = query_->MakeSafeFunction(estimate_);
   FGM_CHECK_LT(safe_fn_->AtZero(), 0.0);
-  const int64_t full_words = static_cast<int64_t>(query_->dimension());
   for (int i = 0; i < sites_k_; ++i) {
-    network_.Upstream(i, MsgKind::kSafeZone, full_words);
+    transport_->ShipSafeZone(i, SafeZoneMsg{estimate_});
     Site& site = sites_[static_cast<size_t>(i)];
     site.evaluator = safe_fn_->MakeEvaluator();
+    site.log.Reset();
     site.updates_since_known = 0;
+    site.known = RealVector(query_->dimension());
   }
 }
 
@@ -47,6 +48,7 @@ void GmProtocol::ProcessRecord(const StreamRecord& record) {
   delta_scratch_.clear();
   query_->MapRecord(record, &delta_scratch_);
   Site& site = sites_[static_cast<size_t>(record.site)];
+  site.log.Record(record, query_->dimension());
   for (const CellUpdate& u : delta_scratch_) {
     site.evaluator->ApplyDelta(u.index, u.delta);
   }
@@ -59,19 +61,29 @@ void GmProtocol::ProcessRecord(const StreamRecord& record) {
 
 const RealVector& GmProtocol::CollectDrift(int site_id) {
   Site& site = sites_[static_cast<size_t>(site_id)];
-  const int64_t full_words = static_cast<int64_t>(query_->dimension());
-  network_.Downstream(site_id, MsgKind::kDriftFlush,
-                      std::min(full_words, site.updates_since_known) + 1);
+  // The site ships the cheaper of its dense drift and the raw updates
+  // since the coordinator last knew it (§2.1's min(D, n) + 1 accounting).
+  const DriftFlushMsg delivered = transport_->SendDriftFlush(
+      site_id, DriftFlushMsg::ForFlush(site.evaluator->drift(),
+                                       site.updates_since_known, site.log));
+  if (delivered.drift.dim() != 0) {
+    site.known = delivered.drift;
+  } else {
+    // Verbatim: re-project the delta updates on top of the drift the
+    // coordinator already knows (bit-exact, same deltas in the same
+    // order as the site applied them).
+    ReprojectRawUpdates(*query_, site_id, delivered.raw, &site.known);
+  }
+  site.log.Reset();
   site.updates_since_known = 0;
-  return site.evaluator->drift();
+  return site.known;
 }
 
 void GmProtocol::HandleViolation(int violator) {
   const double k = static_cast<double>(sites_k_);
-  const int64_t full_words = static_cast<int64_t>(query_->dimension());
 
   // The violator reports itself (1 control word) and ships its drift.
-  network_.Downstream(violator, MsgKind::kControl, 1);
+  transport_->SendControl(violator, ControlMsg{ControlOp::kViolation});
   RealVector sum = CollectDrift(violator);
   std::vector<int> collected = {violator};
 
@@ -91,10 +103,10 @@ void GmProtocol::HandleViolation(int violator) {
     std::vector<double> phi(static_cast<size_t>(sites_k_), 0.0);
     for (int i = 0; i < sites_k_; ++i) {
       if (i == violator) continue;
-      network_.Upstream(i, MsgKind::kControl, 1);
-      network_.Downstream(i, MsgKind::kPhiValue, 1);
-      phi[static_cast<size_t>(i)] =
-          sites_[static_cast<size_t>(i)].evaluator->Value();
+      transport_->ShipControl(i, ControlMsg{ControlOp::kPollPhi});
+      const PhiValueMsg reply = transport_->SendPhiValue(
+          i, PhiValueMsg{sites_[static_cast<size_t>(i)].evaluator->Value()});
+      phi[static_cast<size_t>(i)] = reply.value;
     }
     std::stable_sort(peers.begin(), peers.end(), [&](int a, int b) {
       return phi[static_cast<size_t>(a)] < phi[static_cast<size_t>(b)];
@@ -113,7 +125,7 @@ void GmProtocol::HandleViolation(int violator) {
     size_t next_peer = 0;
     while (!balanced() && next_peer < peers.size()) {
       const int peer = peers[next_peer++];
-      network_.Upstream(peer, MsgKind::kControl, 1);  // drift request
+      transport_->ShipControl(peer, ControlMsg{ControlOp::kDriftRequest});
       sum += CollectDrift(peer);
       collected.push_back(peer);
     }
@@ -124,22 +136,26 @@ void GmProtocol::HandleViolation(int violator) {
       // the same upstream but refreshes the safe zone around the new E.
       ++partial_rebalances_;
       for (int site_id : collected) {
-        network_.Upstream(site_id, MsgKind::kSafeZone, full_words);
-        LoadDrift(sites_[static_cast<size_t>(site_id)].evaluator.get(), avg);
+        const SafeZoneMsg delivered =
+            transport_->ShipSafeZone(site_id, SafeZoneMsg{avg});
+        Site& site = sites_[static_cast<size_t>(site_id)];
+        LoadDrift(site.evaluator.get(), delivered.reference);
+        site.known = delivered.reference;
+        site.log.Reset();
       }
       return;
     }
     // Collect any stragglers for the full sync.
     while (next_peer < peers.size()) {
       const int peer = peers[next_peer++];
-      network_.Upstream(peer, MsgKind::kControl, 1);
+      transport_->ShipControl(peer, ControlMsg{ControlOp::kDriftRequest});
       sum += CollectDrift(peer);
       collected.push_back(peer);
     }
   } else {
     // Without rebalancing, collect everything for the full sync.
     for (int peer : peers) {
-      network_.Upstream(peer, MsgKind::kControl, 1);
+      transport_->ShipControl(peer, ControlMsg{ControlOp::kDriftRequest});
       sum += CollectDrift(peer);
       collected.push_back(peer);
     }

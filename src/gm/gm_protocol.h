@@ -26,6 +26,8 @@
 
 #include "net/network.h"
 #include "net/protocol.h"
+#include "net/transport.h"
+#include "net/wire.h"
 #include "query/query.h"
 #include "safezone/safe_function.h"
 #include "util/rng.h"
@@ -33,6 +35,8 @@
 namespace fgm {
 
 struct GmConfig {
+  /// How protocol messages travel (see FgmConfig::transport).
+  TransportMode transport = TransportMode::kAuto;
   /// Disabling rebalancing makes every violation a full sync.
   bool rebalance = true;
   /// A partial rebalance is accepted only when the averaged drift has
@@ -57,29 +61,39 @@ class GmProtocol : public MonitoringProtocol {
   const RealVector& GlobalEstimate() const override { return estimate_; }
   double Estimate() const override { return query_value_; }
   ThresholdPair CurrentThresholds() const override { return thresholds_; }
-  const TrafficStats& traffic() const override { return network_.stats(); }
+  const TrafficStats& traffic() const override { return transport_->stats(); }
   int64_t rounds() const override { return full_syncs_; }
 
   int64_t violations() const { return violations_; }
   int64_t partial_rebalances() const { return partial_rebalances_; }
 
+  /// The transport carrying this protocol's messages (testing hook).
+  const Transport& transport() const { return *transport_; }
+
  private:
   struct Site {
     std::unique_ptr<DriftEvaluator> evaluator;
-    /// Raw updates since the coordinator last learned this drift
-    /// (min(D, n) verbatim-shipping accounting).
+    /// Raw updates since the coordinator last learned this drift, backing
+    /// the verbatim (min(D, n) + 1 word) flush representation.
+    RawUpdateLog log;
     int64_t updates_since_known = 0;
+    /// Coordinator-side copy of the drift as last collected or assigned;
+    /// a verbatim flush re-projects its raw updates on top of this, which
+    /// reproduces the site's drift bit-exactly (GM drifts are cumulative,
+    /// unlike FGM's flush-and-reset).
+    RealVector known;
   };
 
   void StartRound();
   void HandleViolation(int violator);
-  /// Charges the drift collection of `site` and returns its drift.
+  /// Collects `site`'s drift through the transport (dense or verbatim,
+  /// whichever is cheaper) and returns the coordinator's reconstruction.
   const RealVector& CollectDrift(int site);
 
   const ContinuousQuery* query_;
   int sites_k_;
   GmConfig config_;
-  SimNetwork network_;
+  std::unique_ptr<Transport> transport_;
   Xoshiro256ss rng_;
 
   RealVector estimate_;

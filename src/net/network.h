@@ -17,6 +17,15 @@
 
 namespace fgm {
 
+/// How protocol messages travel (see net/transport.h). kAuto resolves to
+/// kSerializing when the FGM_STRICT_WIRE environment variable is set to a
+/// nonzero value, else kCounting.
+enum class TransportMode : int {
+  kAuto = 0,
+  kCounting,     ///< charge word counts only (the fast simulation path)
+  kSerializing,  ///< encode, cross-check, decode and deliver every message
+};
+
 /// Message classes, for cost breakdowns.
 enum class MsgKind : int {
   kSafeZone = 0,   ///< reference vector E / safe-function parameters

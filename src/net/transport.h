@@ -1,0 +1,86 @@
+// Message-path transport with strict accounting.
+//
+// All coordinator ↔ site interactions of the protocols go through this
+// interface as typed wire messages (net/wire.h). Two implementations:
+//
+//  * CountingTransport — the fast simulation path: charges each message's
+//    word count to SimNetwork and hands the message through unchanged.
+//  * SerializingTransport — the strict path: ENCODES every message into a
+//    WordBuffer, cross-checks the encoded size against the charged word
+//    count, DECODES a fresh copy, verifies the decode re-encodes to the
+//    identical bits, and delivers the decoded copy. Any divergence
+//    between the cost model and the real wire format aborts loudly
+//    (FGM_CHECK), which is the point: the paper's headline metric is
+//    words on the wire, so a drift between "charged" and "transmitted"
+//    must be impossible to miss.
+//
+// Both modes charge identical word counts from the same message objects,
+// so reported costs are bit-identical across modes; strict mode only adds
+// the encode/decode/verify work. A future socket backend implements this
+// same interface with real I/O.
+
+#ifndef FGM_NET_TRANSPORT_H_
+#define FGM_NET_TRANSPORT_H_
+
+#include <memory>
+
+#include "net/network.h"
+#include "net/wire.h"
+#include "query/query.h"
+#include "util/real_vector.h"
+
+namespace fgm {
+
+/// Resolves kAuto against the FGM_STRICT_WIRE environment variable.
+TransportMode ResolveTransportMode(TransportMode mode);
+
+class Transport {
+ public:
+  explicit Transport(int sites) : network_(sites) {}
+  virtual ~Transport() = default;
+
+  int sites() const { return network_.sites(); }
+  const TrafficStats& stats() const { return network_.stats(); }
+  virtual const char* name() const = 0;
+
+  // Coordinator → site. Each call charges the message's words and returns
+  // the message as the site receives it.
+  virtual SafeZoneMsg ShipSafeZone(int site, SafeZoneMsg msg) = 0;
+  virtual CheapZoneMsg ShipCheapZone(int site, CheapZoneMsg msg) = 0;
+  virtual QuantumMsg ShipQuantum(int site, QuantumMsg msg) = 0;
+  virtual LambdaMsg ShipLambda(int site, LambdaMsg msg) = 0;
+  virtual ControlMsg ShipControl(int site, ControlMsg msg) = 0;
+
+  // Site → coordinator.
+  virtual ControlMsg SendControl(int site, ControlMsg msg) = 0;
+  virtual CounterMsg SendCounter(int site, CounterMsg msg) = 0;
+  virtual PhiValueMsg SendPhiValue(int site, PhiValueMsg msg) = 0;
+  virtual DriftFlushMsg SendDriftFlush(int site, DriftFlushMsg msg) = 0;
+  virtual RawUpdateMsg SendRawUpdate(int site, RawUpdateMsg msg) = 0;
+
+ protected:
+  SimNetwork network_;
+};
+
+/// Builds the transport for `mode` (kAuto resolves via the environment).
+std::unique_ptr<Transport> MakeTransport(TransportMode mode, int sites);
+
+/// Re-projects verbatim raw updates through the shared query, summing the
+/// resulting deltas into `out` (which must be zeroed, query-dimensioned) —
+/// what the coordinator of a real deployment does on receiving the
+/// verbatim drift representation. Applying the same deltas in the same
+/// order as the site makes the reconstruction bit-exact.
+void ReprojectRawUpdates(const ContinuousQuery& query, int site,
+                         const std::vector<RawUpdateMsg>& raw,
+                         RealVector* out);
+
+/// The drift delivered by a flush message: the carried dense vector when
+/// present (counting mode, or a strict-mode dense decode), otherwise the
+/// re-projection of the verbatim updates into `*scratch`.
+const RealVector& DeliveredDrift(const DriftFlushMsg& msg,
+                                 const ContinuousQuery& query, int site,
+                                 RealVector* scratch);
+
+}  // namespace fgm
+
+#endif  // FGM_NET_TRANSPORT_H_

@@ -28,7 +28,7 @@ std::vector<CellUpdate> Delta(size_t index, double delta) {
 
 TEST(FgmSite, CounterFollowsTheFloorRule) {
   auto phi = LinearPhi();
-  FgmSite site(0);
+  FgmSite site(0, 2);
   site.BeginRound(phi.get());
   EXPECT_DOUBLE_EQ(site.CurrentValue(), -4.0);
   site.BeginSubround(/*quantum=*/1.0);
@@ -46,7 +46,7 @@ TEST(FgmSite, CounterFollowsTheFloorRule) {
 
 TEST(FgmSite, CounterNeverDecreases) {
   auto phi = LinearPhi();
-  FgmSite site(0);
+  FgmSite site(0, 2);
   site.BeginRound(phi.get());
   site.BeginSubround(1.0);
   EXPECT_EQ(site.ApplyUpdate(Delta(0, +2.0)), 2);
@@ -62,7 +62,7 @@ TEST(FgmSite, CounterNeverDecreases) {
 
 TEST(FgmSite, SubroundResetsZAndCounter) {
   auto phi = LinearPhi();
-  FgmSite site(0);
+  FgmSite site(0, 2);
   site.BeginRound(phi.get());
   site.BeginSubround(1.0);
   site.ApplyUpdate(Delta(0, +2.0));
@@ -77,7 +77,7 @@ TEST(FgmSite, SubroundResetsZAndCounter) {
 
 TEST(FgmSite, SubroundValueRangeTracksSupMinusInf) {
   auto phi = LinearPhi();
-  FgmSite site(0);
+  FgmSite site(0, 2);
   site.BeginRound(phi.get());
   site.BeginSubround(10.0);  // large quantum: no messages
   EXPECT_DOUBLE_EQ(site.SubroundValueRange(), 0.0);
@@ -89,7 +89,7 @@ TEST(FgmSite, SubroundValueRangeTracksSupMinusInf) {
 
 TEST(FgmSite, LambdaScalesTheReportedValue) {
   auto phi = LinearPhi();
-  FgmSite site(0);
+  FgmSite site(0, 2);
   site.BeginRound(phi.get());
   site.ApplyUpdate(Delta(0, +3.0));  // φ = -1 at λ = 1
   EXPECT_DOUBLE_EQ(site.CurrentValue(), -1.0);
@@ -100,7 +100,7 @@ TEST(FgmSite, LambdaScalesTheReportedValue) {
 
 TEST(FgmSite, FlushResetsDriftButKeepsRoundCounters) {
   auto phi = LinearPhi();
-  FgmSite site(0);
+  FgmSite site(0, 2);
   site.BeginRound(phi.get());
   site.BeginSubround(1.0);
   site.ApplyUpdate(Delta(0, +2.0));
@@ -119,7 +119,7 @@ TEST(FgmSite, FlushResetsDriftButKeepsRoundCounters) {
 
 TEST(FgmSite, BeginRoundResetsEverything) {
   auto phi = LinearPhi();
-  FgmSite site(3);
+  FgmSite site(3, 2);
   site.BeginRound(phi.get());
   site.BeginSubround(1.0);
   site.ApplyUpdate(Delta(0, +2.0));

@@ -1,0 +1,289 @@
+// Transport-layer tests: unit round trips through the serializing
+// transport, and the headline parity property — a full protocol run
+// charges bit-identical traffic and produces bit-identical estimates
+// whether messages are merely counted or actually encoded, size-checked,
+// decoded and delivered (strict wire accounting).
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/central.h"
+#include "core/fgm_protocol.h"
+#include "driver/runner.h"
+#include "gm/gm_protocol.h"
+#include "net/transport.h"
+#include "stream/window.h"
+#include "stream/worldcup.h"
+
+namespace fgm {
+namespace {
+
+std::vector<StreamRecord> SmallTrace(int sites, int64_t updates) {
+  WorldCupConfig config;
+  config.sites = sites;
+  config.total_updates = updates;
+  config.duration = 10000.0;
+  config.distinct_clients = 2000;
+  config.seed = 20190326;
+  return GenerateWorldCupTrace(config);
+}
+
+std::unique_ptr<ContinuousQuery> SmallQuery(int sites) {
+  RunConfig config;
+  config.query = QueryKind::kSelfJoin;
+  config.sites = sites;
+  config.depth = 5;
+  config.width = 32;
+  config.epsilon = 0.15;
+  return MakeQuery(config);
+}
+
+template <typename Protocol>
+void Drive(Protocol* protocol, const std::vector<StreamRecord>& trace,
+           double window) {
+  SlidingWindowStream events(&trace, window);
+  while (const StreamRecord* rec = events.Next()) {
+    protocol->ProcessRecord(*rec);
+  }
+}
+
+void ExpectSameTraffic(const TrafficStats& counting,
+                       const TrafficStats& serializing) {
+  EXPECT_EQ(counting.upstream_words, serializing.upstream_words);
+  EXPECT_EQ(counting.downstream_words, serializing.downstream_words);
+  EXPECT_EQ(counting.upstream_messages, serializing.upstream_messages);
+  EXPECT_EQ(counting.downstream_messages, serializing.downstream_messages);
+  for (size_t i = 0; i < counting.words_by_kind.size(); ++i) {
+    EXPECT_EQ(counting.words_by_kind[i], serializing.words_by_kind[i])
+        << MsgKindName(static_cast<MsgKind>(i));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Unit round trips: each typed send charges exactly the encoded size and
+// delivers an identical message.
+
+TEST(SerializingTransport, ChargesExactlyTheEncodedWords) {
+  auto transport = MakeTransport(TransportMode::kSerializing, 4);
+  EXPECT_STREQ(transport->name(), "serializing");
+
+  RealVector e(10);
+  e[3] = 2.5;
+  const SafeZoneMsg zone = transport->ShipSafeZone(0, SafeZoneMsg{e});
+  EXPECT_DOUBLE_EQ(zone.reference[3], 2.5);
+  EXPECT_EQ(transport->stats().upstream_words, 10);
+
+  const CheapZoneMsg cheap =
+      transport->ShipCheapZone(1, CheapZoneMsg{1.5, 1.0, -4.0});
+  EXPECT_DOUBLE_EQ(cheap.offset, -4.0);
+  EXPECT_EQ(transport->stats().upstream_words, 13);
+  EXPECT_EQ(transport->stats()
+                .words_by_kind[static_cast<size_t>(MsgKind::kSafeZone)],
+            13);
+
+  EXPECT_DOUBLE_EQ(transport->ShipQuantum(2, QuantumMsg{0.25}).theta, 0.25);
+  EXPECT_DOUBLE_EQ(transport->ShipLambda(3, LambdaMsg{0.5}).lambda, 0.5);
+  EXPECT_EQ(transport->ShipControl(0, ControlMsg{ControlOp::kPollPhi}).op,
+            ControlOp::kPollPhi);
+  EXPECT_EQ(transport->SendControl(0, ControlMsg{ControlOp::kViolation}).op,
+            ControlOp::kViolation);
+  const int64_t big = (int64_t{1} << 53) + 7;
+  EXPECT_EQ(transport->SendCounter(1, CounterMsg{big}).increment, big);
+  EXPECT_DOUBLE_EQ(transport->SendPhiValue(2, PhiValueMsg{-0.75}).value,
+                   -0.75);
+  EXPECT_EQ(transport->stats().upstream_words, 16);
+  EXPECT_EQ(transport->stats().downstream_words, 3);
+
+  RawUpdateMsg raw;
+  raw.key = uint64_t{1} << 63;  // 2-word key
+  const RawUpdateMsg raw_delivered = transport->SendRawUpdate(0, raw);
+  EXPECT_EQ(raw_delivered.key, uint64_t{1} << 63);
+  EXPECT_EQ(transport->stats()
+                .words_by_kind[static_cast<size_t>(MsgKind::kRawUpdate)],
+            2);
+}
+
+TEST(SerializingTransport, DriftFlushDeliversWhatWasEncoded) {
+  auto transport = MakeTransport(TransportMode::kSerializing, 2);
+
+  // Dense: the drift crosses the wire.
+  DriftFlushMsg dense;
+  dense.update_count = 9;
+  dense.dense = true;
+  dense.drift = RealVector{1.0, -2.0, 0.5};
+  const DriftFlushMsg dense_got = transport->SendDriftFlush(0, dense);
+  EXPECT_TRUE(dense_got.dense);
+  EXPECT_EQ(dense_got.drift.dim(), 3u);
+  EXPECT_DOUBLE_EQ(dense_got.drift[1], -2.0);
+  EXPECT_EQ(transport->stats()
+                .words_by_kind[static_cast<size_t>(MsgKind::kDriftFlush)],
+            4);
+
+  // Verbatim: only the raw updates cross; the sender-local dense copy
+  // must NOT leak through the wire.
+  DriftFlushMsg verbatim;
+  verbatim.update_count = 1;
+  verbatim.dense = false;
+  verbatim.drift = RealVector{1.0, -2.0, 0.5};  // sender-local only
+  RawUpdateMsg u;
+  u.key = 42;
+  verbatim.raw = {u};
+  const DriftFlushMsg verbatim_got = transport->SendDriftFlush(1, verbatim);
+  EXPECT_FALSE(verbatim_got.dense);
+  EXPECT_EQ(verbatim_got.drift.dim(), 0u);
+  ASSERT_EQ(verbatim_got.raw.size(), 1u);
+  EXPECT_EQ(verbatim_got.raw[0].key, 42u);
+  EXPECT_EQ(transport->stats()
+                .words_by_kind[static_cast<size_t>(MsgKind::kDriftFlush)],
+            4 + 2);
+}
+
+TEST(Transport, CountingModeDeliversUnchanged) {
+  auto transport = MakeTransport(TransportMode::kCounting, 2);
+  EXPECT_STREQ(transport->name(), "counting");
+  DriftFlushMsg verbatim;
+  verbatim.update_count = 1;
+  verbatim.dense = false;
+  verbatim.drift = RealVector{7.0};
+  RawUpdateMsg u;
+  u.key = 3;
+  verbatim.raw = {u};
+  // The fast path hands the message through as-is (the local drift stays
+  // available), but charges the same wire words as strict mode.
+  const DriftFlushMsg got = transport->SendDriftFlush(0, verbatim);
+  EXPECT_EQ(got.drift.dim(), 1u);
+  EXPECT_EQ(transport->stats()
+                .words_by_kind[static_cast<size_t>(MsgKind::kDriftFlush)],
+            2);
+}
+
+// ---------------------------------------------------------------------
+// Parity: counting and serializing runs of every protocol are
+// indistinguishable — identical traffic in every breakdown and identical
+// (bit-exact) estimates. The windowed FGM runs exercise rebalancing and
+// verbatim flushes; FGM/O exercises cheap-zone shipments.
+
+struct FgmParityCase {
+  const char* label;
+  bool rebalance;
+  bool optimizer;
+  double window;
+};
+
+class FgmParity : public ::testing::TestWithParam<FgmParityCase> {};
+
+TEST_P(FgmParity, CountingAndSerializingRunsAreBitIdentical) {
+  const FgmParityCase& param = GetParam();
+  const int sites = 5;
+  const auto trace = SmallTrace(sites, 25000);
+  auto query = SmallQuery(sites);
+
+  FgmConfig counting_config;
+  counting_config.transport = TransportMode::kCounting;
+  counting_config.rebalance = param.rebalance;
+  counting_config.optimizer = param.optimizer;
+  FgmConfig strict_config = counting_config;
+  strict_config.transport = TransportMode::kSerializing;
+
+  FgmProtocol counting(query.get(), sites, counting_config);
+  FgmProtocol strict(query.get(), sites, strict_config);
+  Drive(&counting, trace, param.window);
+  Drive(&strict, trace, param.window);
+
+  EXPECT_STREQ(counting.transport().name(), "counting");
+  EXPECT_STREQ(strict.transport().name(), "serializing");
+  ExpectSameTraffic(counting.traffic(), strict.traffic());
+  EXPECT_EQ(counting.rounds(), strict.rounds());
+  EXPECT_EQ(counting.subrounds(), strict.subrounds());
+  EXPECT_EQ(counting.rebalances(), strict.rebalances());
+  EXPECT_EQ(counting.Estimate(), strict.Estimate());
+  EXPECT_DOUBLE_EQ(Distance(counting.GlobalEstimate(),
+                            strict.GlobalEstimate()),
+                   0.0);
+  if (param.rebalance && param.window > 0) {
+    // The turnstile case must actually exercise the rebalancing path.
+    EXPECT_GT(counting.rebalances(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, FgmParity,
+    ::testing::Values(FgmParityCase{"basic", false, false, 0.0},
+                      FgmParityCase{"fgm", true, false, 0.0},
+                      FgmParityCase{"fgm_turnstile", true, false, 1200.0},
+                      FgmParityCase{"fgmo_turnstile", true, true, 1200.0}),
+    [](const ::testing::TestParamInfo<FgmParityCase>& info) {
+      return std::string(info.param.label);
+    });
+
+TEST(GmParity, CountingAndSerializingRunsAreBitIdentical) {
+  const int sites = 5;
+  const auto trace = SmallTrace(sites, 25000);
+  auto query = SmallQuery(sites);
+
+  GmConfig counting_config;
+  counting_config.transport = TransportMode::kCounting;
+  GmConfig strict_config = counting_config;
+  strict_config.transport = TransportMode::kSerializing;
+
+  GmProtocol counting(query.get(), sites, counting_config);
+  GmProtocol strict(query.get(), sites, strict_config);
+  Drive(&counting, trace, /*window=*/1200.0);
+  Drive(&strict, trace, /*window=*/1200.0);
+
+  ExpectSameTraffic(counting.traffic(), strict.traffic());
+  EXPECT_EQ(counting.rounds(), strict.rounds());
+  EXPECT_EQ(counting.violations(), strict.violations());
+  EXPECT_EQ(counting.partial_rebalances(), strict.partial_rebalances());
+  EXPECT_GT(counting.partial_rebalances(), 0);
+  EXPECT_EQ(counting.Estimate(), strict.Estimate());
+  EXPECT_DOUBLE_EQ(Distance(counting.GlobalEstimate(),
+                            strict.GlobalEstimate()),
+                   0.0);
+}
+
+TEST(CentralParity, CountingAndSerializingRunsAreBitIdentical) {
+  const int sites = 3;
+  const auto trace = SmallTrace(sites, 8000);
+  auto query = SmallQuery(sites);
+
+  CentralProtocol counting(query.get(), sites, TransportMode::kCounting);
+  CentralProtocol strict(query.get(), sites, TransportMode::kSerializing);
+  Drive(&counting, trace, /*window=*/800.0);
+  Drive(&strict, trace, /*window=*/800.0);
+
+  ExpectSameTraffic(counting.traffic(), strict.traffic());
+  EXPECT_EQ(counting.Estimate(), strict.Estimate());
+  // WorldCup keys are small, so every raw update is one word and the
+  // baseline's normalized cost stays exactly 1 under strict accounting.
+  EXPECT_EQ(counting.traffic().downstream_words,
+            counting.traffic().downstream_messages);
+}
+
+// ---------------------------------------------------------------------
+// Graceful subround-cap handling (the run used to abort on FGM_CHECK).
+
+TEST(FgmProtocol, SubroundCapEndsTheRoundInsteadOfAborting) {
+  const int sites = 5;
+  const auto trace = SmallTrace(sites, 20000);
+  auto query = SmallQuery(sites);
+  FgmConfig config;
+  config.max_subrounds_per_round = 2;  // far below the typical ~7
+  FgmProtocol protocol(query.get(), sites, config);
+  Drive(&protocol, trace, /*window=*/0.0);
+  EXPECT_GT(protocol.overflow_rounds(), 0);
+  EXPECT_GT(protocol.rounds(), 1);
+  EXPECT_TRUE(std::isfinite(protocol.Estimate()));
+
+  // An uncapped run of the same workload never overflows.
+  FgmConfig uncapped;
+  FgmProtocol reference(query.get(), sites, uncapped);
+  Drive(&reference, trace, /*window=*/0.0);
+  EXPECT_EQ(reference.overflow_rounds(), 0);
+}
+
+}  // namespace
+}  // namespace fgm

@@ -98,7 +98,7 @@ TEST(DriftFlushMsg, DenseRoundTripAndSize) {
   msg.Encode(&buf);
   EXPECT_EQ(static_cast<int64_t>(buf.size_words()), msg.Words());
   EXPECT_EQ(msg.Words(), 4);  // 1 + D
-  const DriftFlushMsg decoded = DriftFlushMsg::Decode(buf, 3);
+  const DriftFlushMsg decoded = DriftFlushMsg::Decode(buf);
   EXPECT_TRUE(decoded.dense);
   EXPECT_EQ(decoded.update_count, 500);
   EXPECT_DOUBLE_EQ(decoded.drift[2], 3.0);
@@ -119,11 +119,176 @@ TEST(DriftFlushMsg, VerbatimRoundTripAndSize) {
   msg.Encode(&buf);
   EXPECT_EQ(static_cast<int64_t>(buf.size_words()), msg.Words());
   EXPECT_EQ(msg.Words(), 3);  // 1 + n
-  const DriftFlushMsg decoded = DriftFlushMsg::Decode(buf, 1000);
+  const DriftFlushMsg decoded = DriftFlushMsg::Decode(buf);
   EXPECT_FALSE(decoded.dense);
   ASSERT_EQ(decoded.raw.size(), 2u);
   EXPECT_EQ(decoded.raw[1].key, 9u);
   EXPECT_EQ(decoded.raw[1].is_delete, 1u);
+}
+
+TEST(WordBuffer, CountsAbove2To53SurviveTheWire) {
+  // Regression: counts used to be value-cast through the double word,
+  // which silently rounds integers above 2^53.
+  const int64_t counts[] = {(int64_t{1} << 53) + 1,
+                            (int64_t{1} << 62) + 12345,
+                            -((int64_t{1} << 53) + 1),
+                            INT64_MAX,
+                            INT64_MIN};
+  WordBuffer buf;
+  for (const int64_t c : counts) buf.PutCount(c);
+  for (size_t i = 0; i < std::size(counts); ++i) {
+    EXPECT_EQ(buf.GetCount(i), counts[i]) << "i=" << i;
+  }
+}
+
+TEST(ControlMsg, RoundTripsEveryOpcode) {
+  for (const ControlOp op : {ControlOp::kPollPhi, ControlOp::kFlushRequest,
+                             ControlOp::kDriftRequest,
+                             ControlOp::kViolation}) {
+    WordBuffer buf;
+    ControlMsg{op}.Encode(&buf);
+    EXPECT_EQ(buf.size_words(), static_cast<size_t>(ControlMsg::kWords));
+    EXPECT_EQ(ControlMsg::Decode(buf).op, op);
+  }
+}
+
+TEST(RawUpdateMsg, TopKeyBitSurvivesTheWire) {
+  // Regression: the old single-word packing (key << 1) dropped the MSB of
+  // 64-bit keys. Boundary keys now spill into an extension word.
+  const uint64_t keys[] = {0,
+                           1,
+                           (uint64_t{1} << 62) - 1,  // last 1-word key
+                           uint64_t{1} << 62,        // first 2-word key
+                           uint64_t{1} << 63,
+                           UINT64_MAX};
+  for (const uint64_t key : keys) {
+    for (const bool is_delete : {false, true}) {
+      RawUpdateMsg msg;
+      msg.key = key;
+      msg.is_delete = is_delete;
+      WordBuffer buf;
+      msg.Encode(&buf);
+      EXPECT_EQ(static_cast<int64_t>(buf.size_words()), msg.Words());
+      EXPECT_EQ(msg.Words(), (key >> 62) != 0 ? 2 : 1) << "key=" << key;
+      const RawUpdateMsg decoded = RawUpdateMsg::Decode(buf, 0);
+      EXPECT_EQ(decoded.key, key);
+      EXPECT_EQ(decoded.is_delete, is_delete);
+    }
+  }
+}
+
+TEST(RawUpdateMsg, RecordRoundTrip) {
+  StreamRecord record;
+  record.site = 5;
+  record.cid = 123456789;
+  record.type = static_cast<FileType>(3);
+  record.weight = -1.0;
+  const RawUpdateMsg msg = RawUpdateMsg::FromRecord(record);
+  WordBuffer buf;
+  msg.Encode(&buf);
+  const StreamRecord back = RawUpdateMsg::Decode(buf, 0).ToRecord(5);
+  EXPECT_EQ(back.site, record.site);
+  EXPECT_EQ(back.cid, record.cid);
+  EXPECT_EQ(back.type, record.type);
+  EXPECT_DOUBLE_EQ(back.weight, record.weight);
+}
+
+TEST(RawUpdateLog, BacksVerbatimFlushesUntilDenseWins) {
+  RawUpdateLog log;
+  StreamRecord record;
+  record.site = 0;
+  record.type = static_cast<FileType>(0);
+  record.weight = 1.0;
+  // Dense cost is 3 words: the log stays valid for up to 3 raw words.
+  for (uint64_t cid = 0; cid < 3; ++cid) {
+    record.cid = cid;
+    log.Record(record, /*dense_words=*/3);
+  }
+  EXPECT_TRUE(log.valid());
+  EXPECT_EQ(log.words(), 3);
+  EXPECT_EQ(log.updates().size(), 3u);
+  record.cid = 3;
+  log.Record(record, 3);  // 4th word: verbatim can no longer win
+  EXPECT_FALSE(log.valid());
+  EXPECT_TRUE(log.updates().empty());
+  log.Reset();
+  EXPECT_TRUE(log.valid());
+  // Unpackable records (non-unit weight) invalidate the log.
+  record.weight = 2.0;
+  log.Record(record, 3);
+  EXPECT_FALSE(log.valid());
+}
+
+TEST(DriftFlushMsg, ForFlushPicksTheCheaperRepresentation) {
+  RealVector drift{1.0, -1.0, 0.0};
+  StreamRecord record;
+  record.site = 0;
+  record.type = static_cast<FileType>(0);
+  record.weight = 1.0;
+
+  RawUpdateLog log;
+  record.cid = 7;
+  log.Record(record, drift.dim());
+  const DriftFlushMsg verbatim = DriftFlushMsg::ForFlush(drift, 1, log);
+  EXPECT_FALSE(verbatim.dense);
+  EXPECT_EQ(verbatim.Words(), 2);  // 1 + 1 raw word < 1 + D
+  // The sender-local drift is populated either way.
+  EXPECT_DOUBLE_EQ(verbatim.drift[0], 1.0);
+
+  // An incomplete log (an update bypassed it) forces the dense form.
+  const DriftFlushMsg dense = DriftFlushMsg::ForFlush(drift, 2, log);
+  EXPECT_TRUE(dense.dense);
+  EXPECT_EQ(dense.Words(), 4);  // 1 + D
+
+  // Strict-mode wire: verbatim decodes to raw updates + empty drift.
+  WordBuffer buf;
+  verbatim.Encode(&buf);
+  EXPECT_EQ(static_cast<int64_t>(buf.size_words()), verbatim.Words());
+  const DriftFlushMsg decoded = DriftFlushMsg::Decode(buf);
+  EXPECT_FALSE(decoded.dense);
+  EXPECT_EQ(decoded.update_count, 1);
+  ASSERT_EQ(decoded.raw.size(), 1u);
+  EXPECT_EQ(decoded.raw[0].key >> 3, 7u);
+  EXPECT_EQ(decoded.drift.dim(), 0u);
+}
+
+TEST(DriftFlushMsg, VerbatimWithBoundaryKeysReencodesIdentically) {
+  // Property-style check over the strict-mode invariant: decode(encode(m))
+  // re-encodes to the identical bits, including multi-word raw updates
+  // and huge counts.
+  DriftFlushMsg msg;
+  msg.update_count = 3;
+  msg.dense = false;
+  RawUpdateMsg u1;
+  u1.key = (uint64_t{1} << 62) - 1;
+  RawUpdateMsg u2;
+  u2.key = uint64_t{1} << 63;
+  u2.is_delete = true;
+  RawUpdateMsg u3;
+  u3.key = UINT64_MAX;
+  msg.raw = {u1, u2, u3};
+  WordBuffer wire;
+  msg.Encode(&wire);
+  EXPECT_EQ(static_cast<int64_t>(wire.size_words()), msg.Words());
+  EXPECT_EQ(msg.Words(), 1 + 1 + 2 + 2);
+  const DriftFlushMsg decoded = DriftFlushMsg::Decode(wire);
+  WordBuffer reencoded;
+  decoded.Encode(&reencoded);
+  EXPECT_TRUE(wire.SameBits(reencoded));
+  EXPECT_EQ(decoded.raw[1].key, uint64_t{1} << 63);
+  EXPECT_TRUE(decoded.raw[1].is_delete);
+
+  DriftFlushMsg dense_msg;
+  dense_msg.update_count = (int64_t{1} << 53) + 99;
+  dense_msg.dense = true;
+  dense_msg.drift = RealVector{0.5, -0.0, 3e300};
+  WordBuffer dense_wire;
+  dense_msg.Encode(&dense_wire);
+  const DriftFlushMsg dense_decoded = DriftFlushMsg::Decode(dense_wire);
+  EXPECT_EQ(dense_decoded.update_count, (int64_t{1} << 53) + 99);
+  WordBuffer dense_reencoded;
+  dense_decoded.Encode(&dense_reencoded);
+  EXPECT_TRUE(dense_wire.SameBits(dense_reencoded));
 }
 
 TEST(DriftFlushMsg, ChargedWordsMatchesTheSmallerEncoding) {
