@@ -69,9 +69,16 @@ void AddRow(TablePrinter* table, const std::string& label,
                  Fmt("%.1f%%", 100.0 * r.upstream_fraction),
                  TablePrinter::Cell(r.rounds), TablePrinter::Cell(r.subrounds),
                  TablePrinter::Cell(r.rebalances)});
+  JsonReport::Get().AddEntry(
+      label, {{"comm_cost", r.comm_cost},
+              {"upstream_fraction", r.upstream_fraction},
+              {"rounds", static_cast<double>(r.rounds)},
+              {"subrounds", static_cast<double>(r.subrounds)},
+              {"rebalances", static_cast<double>(r.rebalances)}});
 }
 
 void Main() {
+  JsonReport::Get().Init("ablation");
   const BenchScale scale = DefaultScale();
   const auto trace = PaperTrace(scale);
   const RunConfig typical = BaseConfig(QueryKind::kSelfJoin, kPaperSites,

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -21,13 +22,8 @@ namespace {
 
 double PhiP(double x, double p) { return std::pow(std::fabs(x), p) - 1.0; }
 
-std::string Fmt(const char* format, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), format, value);
-  return buf;
-}
-
 void Main() {
+  JsonReport::Get().Init("fig1_quiescent");
   std::printf("Figure 1 reproduction: quiescent regions for A=[-1,1], k=2\n");
   Xoshiro256ss rng(20190326);
   const int64_t samples = 4000000;
@@ -75,6 +71,13 @@ void Main() {
   table.AddRow({"Q_GM (classic GM)", TablePrinter::Cell(area(in_gm)),
                 Fmt("%.3f", area(in_gm) / area_c)});
   table.Print();
+  JsonReport::Get().AddScalar("area_C", area_c);
+  JsonReport::Get().AddScalar("area_Q_p1", area(in_qp[0]));
+  JsonReport::Get().AddScalar("area_Q_p2", area(in_qp[1]));
+  JsonReport::Get().AddScalar("area_Q_p4", area(in_qp[2]));
+  JsonReport::Get().AddScalar("area_Q_GM", area(in_gm));
+  JsonReport::Get().AddScalar("inclusion_violations",
+                              static_cast<double>(inclusion_violations));
   std::printf("inclusion violations (must be 0): %lld\n",
               static_cast<long long>(inclusion_violations));
   std::printf("Paper's claim: the level-minimal p=1 function dominates; "

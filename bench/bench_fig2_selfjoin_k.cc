@@ -35,6 +35,7 @@ void RunModel(const std::vector<StreamRecord>& trace, const BenchScale& scale,
 }
 
 void Main() {
+  JsonReport::Get().Init("fig2_selfjoin_k");
   const BenchScale scale = DefaultScale();
   std::printf("Figure 2 reproduction: query Q1 (self-join), eps=0.1, "
               "paper D=7000 (scaled width=%d), %lld updates\n",

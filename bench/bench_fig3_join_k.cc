@@ -38,6 +38,7 @@ void RunModel(const std::vector<StreamRecord>& trace, const BenchScale& scale,
 }
 
 void Main() {
+  JsonReport::Get().Init("fig3_join_k");
   const BenchScale scale = DefaultScale();
   std::printf("Figure 3 reproduction: query Q2 (join), eps=0.1, paper "
               "D=7000 (scaled width=%d per sketch), %lld updates\n",

@@ -33,6 +33,7 @@ void RunQuery(const std::vector<StreamRecord>& trace, const BenchScale& scale,
 }
 
 void Main() {
+  JsonReport::Get().Init("fig4_adverse");
   const BenchScale scale = DefaultScale();
   std::printf("Figure 4 reproduction: adverse workload, k=27, paper "
               "D=35000 (scaled width=%d), TW=1h, %lld updates\n",

@@ -61,6 +61,7 @@ void SketchSweep(const std::vector<StreamRecord>& trace,
 }
 
 void Main() {
+  JsonReport::Get().Init("fig5_window_sketch");
   const BenchScale scale = DefaultScale();
   std::printf("Figure 5 reproduction: k=27, eps=0.06, %lld updates\n",
               static_cast<long long>(scale.updates));

@@ -32,6 +32,8 @@ void RunQuery(const std::vector<StreamRecord>& real,
                                       /*window=*/4.0 * 3600.0, scale);
         config.protocol = protocol;
         const RunResult r = ::fgm::Run(config, use_skew ? skewed : real);
+        JsonReport::Get().AddRun(
+            Fmt("%.2f", eps) + (use_skew ? "/skew" : "/real"), r);
         table.AddRow({Fmt("%.2f", eps), r.protocol_name,
                       use_skew ? "skew" : "real", Fmt("%.4f", r.comm_cost),
                       Fmt("%.1f%%", 100.0 * r.upstream_fraction),
@@ -43,6 +45,7 @@ void RunQuery(const std::vector<StreamRecord>& real,
 }
 
 void Main() {
+  JsonReport::Get().Init("fig6_skew");
   const BenchScale scale = DefaultScale();
   std::printf("Figure 6 reproduction: skew, k=27, paper D=7000, TW=4h, "
               "%lld updates\n",

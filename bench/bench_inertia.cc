@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/fgm_protocol.h"
 #include "query/query.h"
 #include "stream/drift_stream.h"
@@ -25,12 +26,6 @@
 namespace fgm {
 namespace bench {
 namespace {
-
-std::string Fmt(const char* format, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), format, value);
-  return buf;
-}
 
 struct InertiaResult {
   double mean_ratio;
@@ -127,6 +122,7 @@ InertiaResult Measure(const std::vector<StreamRecord>& trace, int sites,
 }
 
 void Main() {
+  JsonReport::Get().Init("inertia");
   std::printf("§4.1.3 reproduction: round duration vs the ideal maximum "
               "under constant-velocity streams\n");
   TablePrinter table({"workload", "variant", "mean round/ideal",
@@ -158,6 +154,11 @@ void Main() {
       table.AddRow({w.label, rebalance ? "FGM (rebalancing)" : "FGM-basic",
                     Fmt("%.3f", r.mean_ratio), Fmt("%.3f", r.min_ratio),
                     TablePrinter::Cell(r.rounds)});
+      JsonReport::Get().AddEntry(
+          std::string(w.label) + (rebalance ? "/fgm" : "/fgm-basic"),
+          {{"mean_ratio", r.mean_ratio},
+           {"min_ratio", r.min_ratio},
+           {"rounds", static_cast<double>(r.rounds)}});
     }
   }
   table.Print();

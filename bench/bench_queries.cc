@@ -21,6 +21,7 @@ namespace bench {
 namespace {
 
 void Main() {
+  JsonReport::Get().Init("queries");
   const BenchScale scale = DefaultScale();
   const auto trace = PaperTrace(scale);
   std::printf("Query-generality table: k=27, eps=0.1 (quantile: rank "

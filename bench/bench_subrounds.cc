@@ -46,9 +46,23 @@ void RunCase(const std::vector<StreamRecord>& trace, const BenchScale& scale,
                                    static_cast<double>(t.total_words())),
                  Fmt("%.2f", static_cast<double>(subround_words) /
                                  thm27_bound)});
+  JsonReport::Get().AddEntry(
+      label,
+      {{"rounds", static_cast<double>(protocol.rounds())},
+       {"mean_subrounds", h.Mean()},
+       {"p50_subrounds", static_cast<double>(h.Quantile(0.5))},
+       {"p90_subrounds", static_cast<double>(h.Quantile(0.9))},
+       {"max_subrounds", static_cast<double>(h.max_observed())},
+       {"subround_word_share", static_cast<double>(subround_words) /
+                                   static_cast<double>(t.total_words())},
+       {"safezone_word_share", static_cast<double>(zone_words) /
+                                   static_cast<double>(t.total_words())},
+       {"thm27_ratio",
+        static_cast<double>(subround_words) / thm27_bound}});
 }
 
 void Main() {
+  JsonReport::Get().Init("subrounds");
   const BenchScale scale = DefaultScale();
   std::printf("§2.5.1 reproduction: subrounds per round (eps_psi = 0.01, "
               "log2(1/eps_psi) ≈ 6.6), %lld updates\n",

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.h"
 #include "core/fgm_protocol.h"
 #include "query/oneshot.h"
 #include "query/query.h"
@@ -25,12 +26,6 @@ namespace bench {
 namespace {
 
 constexpr size_t kDim = 64;
-
-std::string Fmt(const char* format, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), format, value);
-  return buf;
-}
 
 StreamRecord RandomRecord(int k, Xoshiro256ss& rng) {
   StreamRecord rec;
@@ -81,6 +76,13 @@ void OneShot() {
                       Fmt("%.1f", bound),
                       Fmt("%.2f", static_cast<double>(protocol.rounds()) /
                                       bound)});
+        JsonReport::Get().AddEntry(
+            "oneshot/p" + Fmt("%.0f", p) + "/k" +
+                Fmt("%.0f", static_cast<double>(k)) + "/eps" +
+                Fmt("%.2f", eps),
+            {{"rounds", static_cast<double>(protocol.rounds())},
+             {"bound", bound},
+             {"ratio", static_cast<double>(protocol.rounds()) / bound}});
       }
     }
   }
@@ -124,6 +126,15 @@ void Continuous() {
              Fmt("%.3g", q0) + " -> " + Fmt("%.3g", qn),
              Fmt("%.1f", bound),
              Fmt("%.3f", static_cast<double>(rounds) / bound)});
+        JsonReport::Get().AddEntry(
+            "continuous/p" + Fmt("%.0f", p) + "/k" +
+                Fmt("%.0f", static_cast<double>(k)) + "/eps" +
+                Fmt("%.2f", eps),
+            {{"rounds", static_cast<double>(rounds)},
+             {"q0", q0},
+             {"qn", qn},
+             {"bound", bound},
+             {"ratio", static_cast<double>(rounds) / bound}});
       }
     }
   }
@@ -132,6 +143,7 @@ void Continuous() {
 }
 
 void Main() {
+  JsonReport::Get().Init("thm_fp_rounds");
   std::printf("Theorems 3.2/3.3 reproduction: F_p moments of monotone "
               "streams, dimension %zu\n", kDim);
   OneShot();

@@ -1,17 +1,25 @@
 #include "baseline/central.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fgm {
 
 CentralProtocol::CentralProtocol(const ContinuousQuery* query, int num_sites,
-                                 TransportMode transport)
+                                 TransportMode transport, TraceSink* trace,
+                                 MetricsRegistry* metrics)
     : query_(query),
       sites_k_(num_sites),
       transport_(MakeTransport(transport, num_sites)),
       state_(query->dimension()) {
   FGM_CHECK(query != nullptr);
   FGM_CHECK_GE(num_sites, 1);
+  if (trace != nullptr) transport_->set_trace(trace);
+  if (metrics != nullptr) {
+    transport_->set_metrics(metrics);
+    sketch_timer_ = metrics->GetTimer("sketch_update");
+  }
 }
 
 void CentralProtocol::ProcessRecord(const StreamRecord& record) {
@@ -21,7 +29,10 @@ void CentralProtocol::ProcessRecord(const StreamRecord& record) {
   const RawUpdateMsg delivered = transport_->SendRawUpdate(
       record.site, RawUpdateMsg::FromRecord(record));
   delta_scratch_.clear();
-  query_->MapRecord(delivered.ToRecord(record.site), &delta_scratch_);
+  {
+    ScopedTimer timed(sketch_timer_);
+    query_->MapRecord(delivered.ToRecord(record.site), &delta_scratch_);
+  }
   // Global state is the *average* of local states (§2.1): each update
   // contributes its deltas scaled by 1/k.
   const double inv_k = 1.0 / static_cast<double>(sites_k_);

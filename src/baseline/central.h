@@ -22,8 +22,12 @@ namespace fgm {
 
 class CentralProtocol : public MonitoringProtocol {
  public:
+  /// `trace` / `metrics` are non-owning observability hooks (obs/);
+  /// nullptr (the default) disables them.
   CentralProtocol(const ContinuousQuery* query, int num_sites,
-                  TransportMode transport = TransportMode::kAuto);
+                  TransportMode transport = TransportMode::kAuto,
+                  TraceSink* trace = nullptr,
+                  MetricsRegistry* metrics = nullptr);
 
   std::string name() const override { return "CENTRAL"; }
   void ProcessRecord(const StreamRecord& record) override;
@@ -40,6 +44,7 @@ class CentralProtocol : public MonitoringProtocol {
   const ContinuousQuery* query_;
   int sites_k_;
   std::unique_ptr<Transport> transport_;
+  WallTimer* sketch_timer_ = nullptr;
   RealVector state_;  // exact global state, scaled by 1/k
   std::vector<CellUpdate> delta_scratch_;
 };

@@ -9,6 +9,10 @@
 
 namespace fgm {
 
+class MetricsRegistry;
+class TraceSink;
+class WallTimer;
+
 struct FgmConfig {
   /// How protocol messages travel: counting-only (fast simulation) or the
   /// strict serializing path that encodes/decodes every message and
@@ -71,6 +75,14 @@ struct FgmConfig {
   /// cancelling itself (stationary windowed streams), λ stays near 1 and
   /// the round keeps being extended, which is the desired behaviour.
   int64_t max_subrounds_per_round = int64_t{1} << 40;
+
+  /// Structured event sink (obs/trace.h). Non-owning; nullptr (the
+  /// default) disables tracing and every hook reduces to one branch.
+  TraceSink* trace = nullptr;
+
+  /// Metrics registry (obs/metrics.h) receiving the per-phase wall
+  /// timers. Non-owning; nullptr disables.
+  MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace fgm

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fgm {
@@ -27,6 +29,14 @@ FgmProtocol::FgmProtocol(const ContinuousQuery* query, int num_sites,
     round_drift_.emplace_back(query->dimension());
   }
   plan_.assign(static_cast<size_t>(num_sites), 1);
+  // Observability hooks must be live before the first round is traced.
+  trace_ = config_.trace;
+  if (trace_ != nullptr) transport_->set_trace(trace_);
+  if (config_.metrics != nullptr) {
+    transport_->set_metrics(config_.metrics);
+    sketch_timer_ = config_.metrics->GetTimer("sketch_update");
+    safe_fn_timer_ = config_.metrics->GetTimer("safe_fn_eval");
+  }
   StartRound();
   // The very first round has no previous round to count against; its
   // setup traffic is still charged (the coordinator must distribute the
@@ -41,15 +51,31 @@ std::string FgmProtocol::name() const {
 void FgmProtocol::ProcessRecord(const StreamRecord& record) {
   FGM_CHECK(record.site >= 0 && record.site < sites_k_);
   delta_scratch_.clear();
-  query_->MapRecord(record, &delta_scratch_);
+  {
+    ScopedTimer timed(sketch_timer_);
+    query_->MapRecord(record, &delta_scratch_);
+  }
   ++total_updates_;
   FgmSite& site = sites_[static_cast<size_t>(record.site)];
-  const int64_t increment = site.ApplyUpdate(record, delta_scratch_);
+  int64_t increment;
+  {
+    ScopedTimer timed(safe_fn_timer_);
+    increment = site.ApplyUpdate(record, delta_scratch_);
+  }
   if (increment > 0) {
     // One-word message carrying the increase to c_i.
     const CounterMsg delivered =
         transport_->SendCounter(record.site, CounterMsg{increment});
     counter_total_ += delivered.increment;
+    if (trace_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kIncrementMsg;
+      e.round = rounds_;
+      e.subround = subrounds_this_round_;
+      e.site = record.site;
+      e.counter = delivered.increment;
+      trace_->Emit(e);
+    }
     if (counter_total_ > sites_k_) PollAndAdvance();
   }
 }
@@ -89,6 +115,16 @@ void FgmProtocol::StartRound() {
   safe_fn_ = query_->MakeSafeFunction(estimate_);
   phi_zero_ = safe_fn_->AtZero();
   FGM_CHECK_LT(phi_zero_, 0.0);
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kRoundStart;
+    e.round = rounds_;
+    e.k = sites_k_;
+    e.psi = static_cast<double>(sites_k_) * phi_zero_;
+    e.value = phi_zero_;
+    e.eps = config_.eps_psi;
+    trace_->Emit(e);
+  }
   cheap_fn_ =
       std::make_unique<CheapBoundFunction>(CheapBoundFunction::For(*safe_fn_));
 
@@ -159,14 +195,23 @@ void FgmProtocol::StartSubround(double psi_total) {
   FGM_CHECK_LT(psi_total, 0.0);
   last_psi_ = psi_total;
   const double quantum = -psi_total / (2.0 * static_cast<double>(sites_k_));
+  counter_total_ = 0;
+  ++subrounds_;
+  ++subrounds_this_round_;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kSubroundStart;
+    e.round = rounds_;
+    e.subround = subrounds_this_round_;
+    e.psi = psi_total;
+    e.theta = quantum;
+    trace_->Emit(e);
+  }
   for (FgmSite& site : sites_) {
     const QuantumMsg delivered =
         transport_->ShipQuantum(site.id(), QuantumMsg{quantum});
     site.BeginSubround(delivered.theta);
   }
-  counter_total_ = 0;
-  ++subrounds_;
-  ++subrounds_this_round_;
 }
 
 void FgmProtocol::PollAndAdvance() {
@@ -185,9 +230,27 @@ void FgmProtocol::PollAndAdvance() {
   if (last_psi_ != 0.0) {
     psi_variability_ += delta_psi / std::fabs(last_psi_);
   }
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kSubroundEnd;
+    e.round = rounds_;
+    e.subround = subrounds_this_round_;
+    e.psi = last_psi_;
+    e.counter = counter_total_;
+    trace_->Emit(e);
+  }
   const double stop_level =
       config_.eps_psi * static_cast<double>(sites_k_) * phi_zero_;
   if (last_psi_ >= stop_level) {
+    if (trace_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kThresholdCross;
+      e.round = rounds_;
+      e.psi = last_psi_;
+      e.value = stop_level;
+      e.label = "psi-exhausted";
+      trace_->Emit(e);
+    }
     // Subrounds exhausted for this safe function / scale.
     if (config_.rebalance) {
       TryRebalance();
@@ -231,6 +294,15 @@ void FgmProtocol::FlushAllSites() {
     // empty-stream site's flush is the 1-word acknowledgement (§5.4).
     const DriftFlushMsg delivered =
         transport_->SendDriftFlush(i, site.MakeFlushMsg());
+    if (trace_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kDriftFlush;
+      e.round = rounds_;
+      e.site = i;
+      e.words = delivered.Words();
+      e.count = delivered.update_count;
+      trace_->Emit(e);
+    }
     if (delivered.update_count > 0) {
       const RealVector& drift =
           DeliveredDrift(delivered, *query_, i, &flush_scratch_);
@@ -316,6 +388,15 @@ void FgmProtocol::TryRebalance() {
   const double stop_level = config_.eps_psi * k * phi_zero_;
   if (psi + psi_b_ <= stop_level) {
     ++rebalances_;
+    if (trace_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kRebalance;
+      e.round = rounds_;
+      e.lambda = lambda_;
+      e.value = psi_b_;
+      e.psi = psi + psi_b_;
+      trace_->Emit(e);
+    }
     for (FgmSite& site : sites_) {
       const LambdaMsg delivered =
           transport_->ShipLambda(site.id(), LambdaMsg{lambda_});

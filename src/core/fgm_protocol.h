@@ -106,6 +106,11 @@ class FgmProtocol : public MonitoringProtocol {
   FgmConfig config_;
   std::unique_ptr<Transport> transport_;
 
+  // Observability (non-owning; null when disabled).
+  TraceSink* trace_ = nullptr;
+  WallTimer* sketch_timer_ = nullptr;
+  WallTimer* safe_fn_timer_ = nullptr;
+
   RealVector estimate_;  // E
   double query_value_ = 0.0;
   ThresholdPair thresholds_{0.0, 0.0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 
 #include "baseline/central.h"
 #include "core/fgm_config.h"
@@ -10,6 +11,9 @@
 #include "query/variance.h"
 #include "core/fgm_protocol.h"
 #include "gm/gm_protocol.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/window.h"
 #include "util/check.h"
 
@@ -71,27 +75,36 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
                                                 : TransportMode::kAuto;
   switch (config.protocol) {
     case ProtocolKind::kCentral:
-      return std::make_unique<CentralProtocol>(query, config.sites, mode);
+      return std::make_unique<CentralProtocol>(query, config.sites, mode,
+                                               config.trace, config.metrics);
     case ProtocolKind::kGm: {
       GmConfig gm;
       gm.transport = mode;
+      gm.trace = config.trace;
+      gm.metrics = config.metrics;
       return std::make_unique<GmProtocol>(query, config.sites, gm);
     }
     case ProtocolKind::kFgmBasic: {
       FgmConfig fgm;
       fgm.transport = mode;
       fgm.rebalance = false;
+      fgm.trace = config.trace;
+      fgm.metrics = config.metrics;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgm: {
       FgmConfig fgm;
       fgm.transport = mode;
+      fgm.trace = config.trace;
+      fgm.metrics = config.metrics;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgmOpt: {
       FgmConfig fgm;
       fgm.transport = mode;
       fgm.optimizer = true;
+      fgm.trace = config.trace;
+      fgm.metrics = config.metrics;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
   }
@@ -99,9 +112,85 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
   return nullptr;
 }
 
-RunResult Run(const RunConfig& config,
+namespace {
+
+/// JSON run summary: RunResult + traffic breakdown + the metrics registry.
+void WriteMetricsFile(const std::string& path, const RunConfig& config,
+                      const RunResult& result,
+                      const MetricsRegistry& registry) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("run");
+  w.BeginObject();
+  w.Field("protocol", result.protocol_name);
+  w.Field("query", result.query_name);
+  w.Field("sites", static_cast<int64_t>(config.sites));
+  w.Field("strict_wire", config.strict_wire);
+  w.Field("events", result.events);
+  w.Field("rounds", result.rounds);
+  w.Field("subrounds", result.subrounds);
+  w.Field("rebalances", result.rebalances);
+  w.Field("overflow_rounds", result.overflow_rounds);
+  w.Field("mean_full_function_fraction", result.mean_full_function_fraction);
+  w.Field("comm_cost", result.comm_cost);
+  w.Field("upstream_fraction", result.upstream_fraction);
+  w.Field("total_words", result.traffic.total_words());
+  w.Field("upstream_words", result.traffic.upstream_words);
+  w.Field("downstream_words", result.traffic.downstream_words);
+  w.Field("upstream_messages", result.traffic.upstream_messages);
+  w.Field("downstream_messages", result.traffic.downstream_messages);
+  w.Field("max_violation", result.max_violation);
+  w.Field("checks", result.checks);
+  w.Field("final_estimate", result.final_estimate);
+  w.Field("final_truth", result.final_truth);
+  w.Field("wall_seconds", result.wall_seconds);
+  w.EndObject();
+  w.Key("words_by_kind");
+  w.BeginObject();
+  for (size_t i = 0; i < result.traffic.words_by_kind.size(); ++i) {
+    w.Field(MsgKindName(static_cast<MsgKind>(i)),
+            result.traffic.words_by_kind[i]);
+  }
+  w.EndObject();
+  w.Key("metrics");
+  registry.WriteJson(&w);
+  w.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FGM_CHECK(f != nullptr);
+  const std::string text = w.Take();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+RunResult Run(const RunConfig& base_config,
               const std::vector<StreamRecord>& trace) {
   const auto start = std::chrono::steady_clock::now();
+
+  RunConfig config = base_config;
+  std::unique_ptr<JsonlTraceSink> file_sink;
+  if (config.trace == nullptr && !config.trace_out.empty()) {
+    file_sink = std::make_unique<JsonlTraceSink>(config.trace_out);
+    config.trace = file_sink.get();
+  }
+  std::unique_ptr<MetricsRegistry> own_metrics;
+  if (config.metrics == nullptr && !config.metrics_out.empty()) {
+    own_metrics = std::make_unique<MetricsRegistry>();
+    config.metrics = own_metrics.get();
+  }
+
+  // RunStart precedes the protocol's own events (its constructor already
+  // starts the first round).
+  if (config.trace != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kRunStart;
+    e.label = ProtocolKindName(config.protocol);
+    e.k = config.sites;
+    config.trace->Emit(e);
+  }
 
   std::unique_ptr<ContinuousQuery> query = MakeQuery(config);
   std::unique_ptr<MonitoringProtocol> protocol =
@@ -165,6 +254,39 @@ RunResult Run(const RunConfig& config,
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds =
       std::chrono::duration<double>(end - start).count();
+
+  if (config.trace != nullptr) {
+    // Final totals; the replay checker bit-matches them against the sum
+    // of the individual MsgSent events.
+    TraceEvent e;
+    e.kind = TraceEventKind::kRunEnd;
+    e.count = config.trace->events();
+    e.up_words = result.traffic.upstream_words;
+    e.down_words = result.traffic.downstream_words;
+    e.up_msgs = result.traffic.upstream_messages;
+    e.down_msgs = result.traffic.downstream_messages;
+    config.trace->Emit(e);
+  }
+  if (config.metrics != nullptr) {
+    MetricsRegistry* m = config.metrics;
+    m->GetCounter("events")->Add(result.events);
+    m->GetCounter("rounds")->Add(result.rounds);
+    m->GetCounter("subrounds")->Add(result.subrounds);
+    m->GetCounter("rebalances")->Add(result.rebalances);
+    m->GetCounter("total_words")->Add(result.traffic.total_words());
+    m->GetGauge("comm_cost")->Set(result.comm_cost);
+    m->GetGauge("upstream_fraction")->Set(result.upstream_fraction);
+    if (auto* fgm = dynamic_cast<FgmProtocol*>(protocol.get())) {
+      const CountHistogram& h = fgm->subrounds_per_round();
+      CountHistogram* out = m->GetHistogram("subrounds_per_round");
+      for (int64_t v = 0; v <= h.bucket_limit(); ++v) {
+        for (int64_t c = 0; c < h.CountAt(v); ++c) out->Add(v);
+      }
+    }
+  }
+  if (!config.metrics_out.empty() && config.metrics != nullptr) {
+    WriteMetricsFile(config.metrics_out, config, result, *config.metrics);
+  }
   return result;
 }
 

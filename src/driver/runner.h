@@ -15,6 +15,9 @@
 
 namespace fgm {
 
+class MetricsRegistry;
+class TraceSink;
+
 enum class ProtocolKind {
   kCentral,   ///< centralizing baseline (the cost normalizer)
   kGm,        ///< classic GM with safe zones + rebalancing
@@ -71,6 +74,21 @@ struct RunConfig {
   /// encodes, size-checks, decodes and verifies each one (strict wire
   /// accounting). Off: the transport follows FGM_STRICT_WIRE.
   bool strict_wire = false;
+
+  // ---- Observability (obs/) ----
+
+  /// Write a JSONL event trace here (empty = off). Used only when `trace`
+  /// is null; the run brackets the protocol's events with RunStart/RunEnd.
+  std::string trace_out;
+
+  /// Write a JSON summary (RunResult + metrics registry) here
+  /// (empty = off). A private registry is created when `metrics` is null.
+  std::string metrics_out;
+
+  /// Caller-provided sinks (non-owning; take precedence over the paths
+  /// above for event/metric collection).
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct RunResult {

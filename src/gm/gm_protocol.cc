@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fgm {
@@ -24,6 +26,13 @@ GmProtocol::GmProtocol(const ContinuousQuery* query, int num_sites,
       sites_(static_cast<size_t>(num_sites)) {
   FGM_CHECK(query != nullptr);
   FGM_CHECK_GE(num_sites, 1);
+  trace_ = config_.trace;
+  if (trace_ != nullptr) transport_->set_trace(trace_);
+  if (config_.metrics != nullptr) {
+    transport_->set_metrics(config_.metrics);
+    sketch_timer_ = config_.metrics->GetTimer("sketch_update");
+    safe_fn_timer_ = config_.metrics->GetTimer("safe_fn_eval");
+  }
   StartRound();
 }
 
@@ -33,6 +42,15 @@ void GmProtocol::StartRound() {
   thresholds_ = query_->Thresholds(estimate_);
   safe_fn_ = query_->MakeSafeFunction(estimate_);
   FGM_CHECK_LT(safe_fn_->AtZero(), 0.0);
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kRoundStart;
+    e.round = full_syncs_;
+    e.k = sites_k_;
+    e.value = safe_fn_->AtZero();
+    // eps stays 0: GM rounds have no subround machinery to certify.
+    trace_->Emit(e);
+  }
   for (int i = 0; i < sites_k_; ++i) {
     transport_->ShipSafeZone(i, SafeZoneMsg{estimate_});
     Site& site = sites_[static_cast<size_t>(i)];
@@ -46,15 +64,32 @@ void GmProtocol::StartRound() {
 void GmProtocol::ProcessRecord(const StreamRecord& record) {
   FGM_CHECK(record.site >= 0 && record.site < sites_k_);
   delta_scratch_.clear();
-  query_->MapRecord(record, &delta_scratch_);
+  {
+    ScopedTimer timed(sketch_timer_);
+    query_->MapRecord(record, &delta_scratch_);
+  }
   Site& site = sites_[static_cast<size_t>(record.site)];
   site.log.Record(record, query_->dimension());
-  for (const CellUpdate& u : delta_scratch_) {
-    site.evaluator->ApplyDelta(u.index, u.delta);
+  double value;
+  {
+    ScopedTimer timed(safe_fn_timer_);
+    for (const CellUpdate& u : delta_scratch_) {
+      site.evaluator->ApplyDelta(u.index, u.delta);
+    }
+    value = site.evaluator->Value();
   }
   ++site.updates_since_known;
-  if (site.evaluator->Value() > 0.0) {
+  if (value > 0.0) {
     ++violations_;
+    if (trace_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kThresholdCross;
+      e.round = full_syncs_;
+      e.site = record.site;
+      e.value = value;
+      e.label = "local-violation";
+      trace_->Emit(e);
+    }
     HandleViolation(record.site);
   }
 }
@@ -66,6 +101,15 @@ const RealVector& GmProtocol::CollectDrift(int site_id) {
   const DriftFlushMsg delivered = transport_->SendDriftFlush(
       site_id, DriftFlushMsg::ForFlush(site.evaluator->drift(),
                                        site.updates_since_known, site.log));
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kDriftFlush;
+    e.round = full_syncs_;
+    e.site = site_id;
+    e.words = delivered.Words();
+    e.count = delivered.update_count;
+    trace_->Emit(e);
+  }
   if (delivered.drift.dim() != 0) {
     site.known = delivered.drift;
   } else {
@@ -135,6 +179,14 @@ void GmProtocol::HandleViolation(int violator) {
       // be collected we fall through to the full sync instead, which costs
       // the same upstream but refreshes the safe zone around the new E.
       ++partial_rebalances_;
+      if (trace_ != nullptr) {
+        // GM partial rebalance; lambda records the collected fraction.
+        TraceEvent e;
+        e.kind = TraceEventKind::kRebalance;
+        e.round = full_syncs_;
+        e.lambda = static_cast<double>(collected.size()) / k;
+        trace_->Emit(e);
+      }
       for (int site_id : collected) {
         const SafeZoneMsg delivered =
             transport_->ShipSafeZone(site_id, SafeZoneMsg{avg});

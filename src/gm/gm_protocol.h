@@ -48,6 +48,11 @@ struct GmConfig {
   double slack_margin = 0.25;
   /// Seed for the random selection of rebalancing peers.
   uint64_t seed = 0x6d67;  // "gm"
+
+  /// Structured event sink / metrics registry (obs/); non-owning,
+  /// nullptr disables (see FgmConfig::trace).
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 class GmProtocol : public MonitoringProtocol {
@@ -95,6 +100,11 @@ class GmProtocol : public MonitoringProtocol {
   GmConfig config_;
   std::unique_ptr<Transport> transport_;
   Xoshiro256ss rng_;
+
+  // Observability (non-owning; null when disabled).
+  TraceSink* trace_ = nullptr;
+  WallTimer* sketch_timer_ = nullptr;
+  WallTimer* safe_fn_timer_ = nullptr;
 
   RealVector estimate_;
   double query_value_ = 0.0;

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fgm {
@@ -30,12 +31,23 @@ const char* MsgKindName(MsgKind kind) {
 
 SimNetwork::SimNetwork(int sites) : sites_(sites) { FGM_CHECK_GE(sites, 1); }
 
+void SimNetwork::EmitMsg(int site, MsgKind kind, int64_t words, int dir) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kMsgSent;
+  e.site = site;
+  e.label = MsgKindName(kind);
+  e.dir = dir;
+  e.words = words;
+  trace_->Emit(e);
+}
+
 void SimNetwork::Downstream(int site, MsgKind kind, int64_t words) {
   FGM_CHECK(site >= 0 && site < sites_);
   FGM_CHECK_GE(words, 0);
   stats_.downstream_words += words;
   stats_.downstream_messages += 1;
   stats_.words_by_kind[static_cast<size_t>(kind)] += words;
+  if (trace_ != nullptr) EmitMsg(site, kind, words, /*dir=*/-1);
 }
 
 void SimNetwork::Upstream(int site, MsgKind kind, int64_t words) {
@@ -44,6 +56,7 @@ void SimNetwork::Upstream(int site, MsgKind kind, int64_t words) {
   stats_.upstream_words += words;
   stats_.upstream_messages += 1;
   stats_.words_by_kind[static_cast<size_t>(kind)] += words;
+  if (trace_ != nullptr) EmitMsg(site, kind, words, /*dir=*/1);
 }
 
 void SimNetwork::Broadcast(MsgKind kind, int64_t words_per_site) {

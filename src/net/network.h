@@ -17,6 +17,8 @@
 
 namespace fgm {
 
+class TraceSink;
+
 /// How protocol messages travel (see net/transport.h). kAuto resolves to
 /// kSerializing when the FGM_STRICT_WIRE environment variable is set to a
 /// nonzero value, else kCounting.
@@ -79,9 +81,16 @@ class SimNetwork {
 
   const TrafficStats& stats() const { return stats_; }
 
+  /// Installs an event sink that receives one kMsgSent event per recorded
+  /// message (nullptr disables tracing; the default).
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
  private:
+  void EmitMsg(int site, MsgKind kind, int64_t words, int dir);
+
   int sites_;
   TrafficStats stats_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace fgm

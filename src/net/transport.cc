@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace fgm {
@@ -160,9 +161,13 @@ class SerializingTransport final : public Transport {
   Msg RoundTrip(const Msg& msg, int64_t charged_words, DecodeFn decode,
                 ChargeFn charge) {
     WordBuffer wire;
-    msg.Encode(&wire);
+    {
+      ScopedTimer timed(encode_timer_);
+      msg.Encode(&wire);
+    }
     FGM_CHECK_EQ(static_cast<int64_t>(wire.size_words()), charged_words);
     charge(charged_words);
+    ScopedTimer timed(decode_timer_);
     Msg decoded = decode(wire);
     WordBuffer reencoded;
     decoded.Encode(&reencoded);
@@ -172,6 +177,13 @@ class SerializingTransport final : public Transport {
 };
 
 }  // namespace
+
+void Transport::set_metrics(MetricsRegistry* metrics) {
+  encode_timer_ =
+      metrics != nullptr ? metrics->GetTimer("wire_encode") : nullptr;
+  decode_timer_ =
+      metrics != nullptr ? metrics->GetTimer("wire_decode") : nullptr;
+}
 
 TransportMode ResolveTransportMode(TransportMode mode) {
   if (mode != TransportMode::kAuto) return mode;

@@ -31,6 +31,9 @@
 
 namespace fgm {
 
+class MetricsRegistry;
+class WallTimer;
+
 /// Resolves kAuto against the FGM_STRICT_WIRE environment variable.
 TransportMode ResolveTransportMode(TransportMode mode);
 
@@ -42,6 +45,13 @@ class Transport {
   int sites() const { return network_.sites(); }
   const TrafficStats& stats() const { return network_.stats(); }
   virtual const char* name() const = 0;
+
+  /// Forwards per-message kMsgSent events to `trace` (nullptr disables).
+  void set_trace(TraceSink* trace) { network_.set_trace(trace); }
+
+  /// Registers the wire_encode / wire_decode wall timers with `metrics`
+  /// (nullptr detaches). Only the serializing path does timed work.
+  void set_metrics(MetricsRegistry* metrics);
 
   // Coordinator → site. Each call charges the message's words and returns
   // the message as the site receives it.
@@ -60,6 +70,8 @@ class Transport {
 
  protected:
   SimNetwork network_;
+  WallTimer* encode_timer_ = nullptr;
+  WallTimer* decode_timer_ = nullptr;
 };
 
 /// Builds the transport for `mode` (kAuto resolves via the environment).

@@ -1,0 +1,322 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace fgm {
+
+std::string JsonWriter::Number(double value) {
+  if (std::isnan(value)) return "null";
+  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string JsonWriter::Quoted(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_item_.empty()) {
+    if (has_item_.back()) out_.push_back(',');
+    has_item_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_.push_back('{');
+  has_item_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  FGM_CHECK(!has_item_.empty());
+  has_item_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_.push_back('[');
+  has_item_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  FGM_CHECK(!has_item_.empty());
+  has_item_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(const std::string& name) {
+  Separate();
+  out_ += Quoted(name);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  Separate();
+  out_ += Quoted(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  Separate();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Double(double value) {
+  Separate();
+  out_ += Number(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Field(const std::string& name, const std::string& value) {
+  Key(name);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& name, const char* value) {
+  Key(name);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& name, int64_t value) {
+  Key(name);
+  Int(value);
+}
+
+void JsonWriter::Field(const std::string& name, double value) {
+  Key(name);
+  Double(value);
+}
+
+void JsonWriter::Field(const std::string& name, bool value) {
+  Key(name);
+  Bool(value);
+}
+
+namespace {
+
+void SkipSpace(const std::string& s, size_t* i) {
+  while (*i < s.size() && std::isspace(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+}
+
+bool ParseString(const std::string& s, size_t* i, std::string* out,
+                 std::string* error) {
+  if (*i >= s.size() || s[*i] != '"') {
+    *error = "expected string";
+    return false;
+  }
+  ++*i;
+  out->clear();
+  while (*i < s.size() && s[*i] != '"') {
+    char c = s[*i];
+    if (c == '\\') {
+      ++*i;
+      if (*i >= s.size()) {
+        *error = "truncated escape";
+        return false;
+      }
+      switch (s[*i]) {
+        case '"':
+          c = '"';
+          break;
+        case '\\':
+          c = '\\';
+          break;
+        case 'n':
+          c = '\n';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        case 'r':
+          c = '\r';
+          break;
+        case 'u': {
+          if (*i + 4 >= s.size()) {
+            *error = "truncated \\u escape";
+            return false;
+          }
+          const unsigned long code =
+              std::strtoul(s.substr(*i + 1, 4).c_str(), nullptr, 16);
+          *i += 4;
+          c = static_cast<char>(code & 0x7f);
+          break;
+        }
+        default:
+          *error = "unknown escape";
+          return false;
+      }
+    }
+    out->push_back(c);
+    ++*i;
+  }
+  if (*i >= s.size()) {
+    *error = "unterminated string";
+    return false;
+  }
+  ++*i;  // closing quote
+  return true;
+}
+
+bool ParseValue(const std::string& s, size_t* i, JsonValue* out,
+                std::string* error) {
+  SkipSpace(s, i);
+  if (*i >= s.size()) {
+    *error = "expected value";
+    return false;
+  }
+  const char c = s[*i];
+  if (c == '"') {
+    out->type = JsonValue::Type::kString;
+    return ParseString(s, i, &out->str, error);
+  }
+  if (c == '{' || c == '[') {
+    *error = "nested values are not part of the flat schema";
+    return false;
+  }
+  if (s.compare(*i, 4, "true") == 0) {
+    out->type = JsonValue::Type::kBool;
+    out->boolean = true;
+    *i += 4;
+    return true;
+  }
+  if (s.compare(*i, 5, "false") == 0) {
+    out->type = JsonValue::Type::kBool;
+    out->boolean = false;
+    *i += 5;
+    return true;
+  }
+  if (s.compare(*i, 4, "null") == 0) {
+    out->type = JsonValue::Type::kNull;
+    *i += 4;
+    return true;
+  }
+  // Number.
+  size_t end = *i;
+  bool integral = true;
+  while (end < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[end])) || s[end] == '-' ||
+          s[end] == '+' || s[end] == '.' || s[end] == 'e' || s[end] == 'E')) {
+    if (s[end] == '.' || s[end] == 'e' || s[end] == 'E') integral = false;
+    ++end;
+  }
+  if (end == *i) {
+    *error = "expected value";
+    return false;
+  }
+  const std::string token = s.substr(*i, end - *i);
+  out->type = JsonValue::Type::kNumber;
+  out->num = std::strtod(token.c_str(), nullptr);
+  out->is_int = integral;
+  if (integral) {
+    out->int_val = std::strtoll(token.c_str(), nullptr, 10);
+  } else {
+    out->int_val = static_cast<int64_t>(out->num);
+  }
+  *i = end;
+  return true;
+}
+
+}  // namespace
+
+bool ParseFlatJsonObject(const std::string& text,
+                         std::map<std::string, JsonValue>* out,
+                         std::string* error) {
+  out->clear();
+  size_t i = 0;
+  SkipSpace(text, &i);
+  if (i >= text.size() || text[i] != '{') {
+    *error = "expected '{'";
+    return false;
+  }
+  ++i;
+  SkipSpace(text, &i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      SkipSpace(text, &i);
+      std::string key;
+      if (!ParseString(text, &i, &key, error)) return false;
+      SkipSpace(text, &i);
+      if (i >= text.size() || text[i] != ':') {
+        *error = "expected ':'";
+        return false;
+      }
+      ++i;
+      JsonValue value;
+      if (!ParseValue(text, &i, &value, error)) return false;
+      (*out)[key] = value;
+      SkipSpace(text, &i);
+      if (i < text.size() && text[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < text.size() && text[i] == '}') {
+        ++i;
+        break;
+      }
+      *error = "expected ',' or '}'";
+      return false;
+    }
+  }
+  SkipSpace(text, &i);
+  if (i != text.size()) {
+    *error = "trailing characters after object";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fgm

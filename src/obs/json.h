@@ -1,0 +1,77 @@
+// Minimal JSON emission and flat-object parsing for the observability
+// layer (trace sinks, metrics export, bench reports, replay checker).
+//
+// The writer is a streaming emitter with automatic comma placement;
+// doubles are printed with %.17g so every value round-trips bit-exactly
+// through text — the replay checker relies on this to re-verify protocol
+// arithmetic (θ = -ψ/2k and friends) on decoded values. The parser only
+// handles the flat one-level objects the JSONL trace schema uses; it is
+// not a general JSON parser and rejects nesting.
+
+#ifndef FGM_OBS_JSON_H_
+#define FGM_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fgm {
+
+class JsonWriter {
+ public:
+  /// Renders a double with round-trip precision, normalizing non-finite
+  /// values (JSON has no inf/nan) to very large magnitudes / null.
+  static std::string Number(double value);
+  /// Quotes and escapes a string.
+  static std::string Quoted(const std::string& value);
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+
+  /// Convenience: Key + scalar.
+  void Field(const std::string& name, const std::string& value);
+  void Field(const std::string& name, const char* value);
+  void Field(const std::string& name, int64_t value);
+  void Field(const std::string& name, double value);
+  void Field(const std::string& name, bool value);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  std::vector<bool> has_item_;  // per open scope: already holds an item
+  bool pending_key_ = false;
+};
+
+/// One scalar value of a flat JSON object.
+struct JsonValue {
+  enum class Type { kString, kNumber, kBool, kNull };
+  Type type = Type::kNull;
+  std::string str;       // kString
+  double num = 0.0;      // kNumber (always set)
+  int64_t int_val = 0;   // kNumber with integral syntax
+  bool is_int = false;
+  bool boolean = false;  // kBool
+};
+
+/// Parses a single flat JSON object `{"key": value, ...}` with scalar
+/// values only (string / number / true / false / null). Returns false and
+/// sets `*error` on malformed input or nesting.
+bool ParseFlatJsonObject(const std::string& text,
+                         std::map<std::string, JsonValue>* out,
+                         std::string* error);
+
+}  // namespace fgm
+
+#endif  // FGM_OBS_JSON_H_

@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace fgm {
+
+namespace {
+
+template <typename Map, typename Maker>
+typename Map::mapped_type::element_type* GetOrCreate(Map* map,
+                                                     const std::string& name,
+                                                     Maker make) {
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(name, make()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return GetOrCreate(&counters_, name,
+                     [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return GetOrCreate(&gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+RunningStats* MetricsRegistry::GetStats(const std::string& name) {
+  return GetOrCreate(&stats_, name,
+                     [] { return std::make_unique<RunningStats>(); });
+}
+
+CountHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                              int max_value) {
+  return GetOrCreate(&histograms_, name, [max_value] {
+    return std::make_unique<CountHistogram>(max_value);
+  });
+}
+
+WallTimer* MetricsRegistry::GetTimer(const std::string& name) {
+  return GetOrCreate(&timers_, name,
+                     [] { return std::make_unique<WallTimer>(); });
+}
+
+void MetricsRegistry::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w->Field(name, counter->value());
+  }
+  w->EndObject();
+
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w->Field(name, gauge->value());
+  }
+  w->EndObject();
+
+  w->Key("stats");
+  w->BeginObject();
+  for (const auto& [name, s] : stats_) {
+    w->Key(name);
+    w->BeginObject();
+    w->Field("count", s->count());
+    w->Field("mean", s->mean());
+    w->Field("stddev", s->stddev());
+    w->Field("min", s->min());
+    w->Field("max", s->max());
+    w->EndObject();
+  }
+  w->EndObject();
+
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w->Key(name);
+    w->BeginObject();
+    w->Field("total", h->total());
+    w->Field("mean", h->Mean());
+    w->Field("max", h->max_observed());
+    w->Field("p50", h->Quantile(0.5));
+    w->Field("p95", h->Quantile(0.95));
+    w->Key("buckets");
+    w->BeginObject();
+    for (int64_t v = 0; v <= h->bucket_limit(); ++v) {
+      if (h->CountAt(v) == 0) continue;
+      char key[24];
+      std::snprintf(key, sizeof(key), "%lld", static_cast<long long>(v));
+      // The last bucket aggregates every value >= bucket_limit.
+      w->Field(v == h->bucket_limit() ? "overflow" : key, h->CountAt(v));
+    }
+    w->EndObject();
+    w->EndObject();
+  }
+  w->EndObject();
+
+  w->Key("timers");
+  w->BeginObject();
+  for (const auto& [name, t] : timers_) {
+    w->Key(name);
+    w->BeginObject();
+    w->Field("count", t->count());
+    w->Field("total_seconds", t->total_seconds());
+    w->EndObject();
+  }
+  w->EndObject();
+
+  w->EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.Take();
+}
+
+}  // namespace fgm

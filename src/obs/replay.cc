@@ -1,0 +1,416 @@
+#include "obs/replay.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace fgm {
+
+namespace {
+
+/// Labels parsed from traces must outlive the returned TraceEvent;
+/// interning into a process-lifetime set gives them static storage.
+const char* Intern(const std::string& s) {
+  static std::set<std::string>* pool = new std::set<std::string>();
+  return pool->insert(s).first->c_str();
+}
+
+int64_t GetInt(const std::map<std::string, JsonValue>& obj,
+               const std::string& key, int64_t fallback = 0) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != JsonValue::Type::kNumber) {
+    return fallback;
+  }
+  return it->second.int_val;
+}
+
+double GetDouble(const std::map<std::string, JsonValue>& obj,
+                 const std::string& key, double fallback = 0.0) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != JsonValue::Type::kNumber) {
+    return fallback;
+  }
+  return it->second.num;
+}
+
+const char* GetLabel(const std::map<std::string, JsonValue>& obj,
+                     const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != JsonValue::Type::kString) {
+    return nullptr;
+  }
+  return Intern(it->second.str);
+}
+
+}  // namespace
+
+bool ParseTraceEventJson(const std::string& line, TraceEvent* event,
+                         std::string* error) {
+  std::map<std::string, JsonValue> obj;
+  if (!ParseFlatJsonObject(line, &obj, error)) return false;
+  const auto ev = obj.find("ev");
+  if (ev == obj.end() || ev->second.type != JsonValue::Type::kString) {
+    *error = "missing \"ev\" kind";
+    return false;
+  }
+  *event = TraceEvent{};
+  bool known = false;
+  for (int i = 0; i < static_cast<int>(TraceEventKind::kKindCount); ++i) {
+    const auto kind = static_cast<TraceEventKind>(i);
+    if (ev->second.str == TraceEventKindName(kind)) {
+      event->kind = kind;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    *error = "unknown event kind \"" + ev->second.str + "\"";
+    return false;
+  }
+  event->seq = GetInt(obj, "seq", -1);
+  event->site = static_cast<int>(GetInt(obj, "site", -1));
+  event->round = GetInt(obj, "round");
+  event->subround = GetInt(obj, "subround");
+  event->psi = GetDouble(obj, "psi");
+  event->theta = GetDouble(obj, "theta");
+  event->lambda = GetDouble(obj, "lambda");
+  event->eps = GetDouble(obj, "eps_psi");
+  event->k = static_cast<int>(GetInt(obj, "k"));
+  event->words = GetInt(obj, "words");
+  event->up_words = GetInt(obj, "up_words");
+  event->down_words = GetInt(obj, "down_words");
+  event->up_msgs = GetInt(obj, "up_msgs");
+  event->down_msgs = GetInt(obj, "down_msgs");
+  switch (event->kind) {
+    case TraceEventKind::kRunStart:
+      event->label = GetLabel(obj, "protocol");
+      break;
+    case TraceEventKind::kRoundStart:
+      event->value = GetDouble(obj, "phi0");
+      break;
+    case TraceEventKind::kSubroundEnd:
+      event->counter = GetInt(obj, "counter");
+      break;
+    case TraceEventKind::kIncrementMsg:
+      event->counter = GetInt(obj, "increment");
+      break;
+    case TraceEventKind::kDriftFlush:
+      event->count = GetInt(obj, "updates");
+      break;
+    case TraceEventKind::kRebalance:
+      event->value = GetDouble(obj, "psi_b");
+      break;
+    case TraceEventKind::kThresholdCross:
+      event->value = GetDouble(obj, "value");
+      event->label = GetLabel(obj, "reason");
+      break;
+    case TraceEventKind::kMsgSent: {
+      event->label = GetLabel(obj, "msg");
+      const char* dir = GetLabel(obj, "dir");
+      event->dir = (dir != nullptr && std::strcmp(dir, "up") == 0) ? 1 : -1;
+      break;
+    }
+    case TraceEventKind::kRunEnd:
+      event->count = GetInt(obj, "events");
+      break;
+    default:
+      break;
+  }
+  return true;
+}
+
+namespace {
+
+constexpr size_t kMaxRecordedIssues = 20;
+
+class Checker {
+ public:
+  ReplayReport Run(std::istream& in) {
+    std::string line;
+    int64_t next_seq = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      TraceEvent e;
+      std::string error;
+      if (!ParseTraceEventJson(line, &e, &error)) {
+        Fail(next_seq, "unparseable line: " + error);
+        ++next_seq;
+        continue;
+      }
+      if (e.seq != next_seq) {
+        Fail(e.seq, "sequence gap: expected seq " + std::to_string(next_seq));
+      }
+      next_seq = e.seq + 1;
+      ++report_.events;
+      Check(e);
+    }
+    report_.up_words = up_words_;
+    report_.down_words = down_words_;
+    return std::move(report_);
+  }
+
+ private:
+  void Fail(int64_t seq, std::string message) {
+    ++report_.issue_count;
+    if (report_.issues.size() < kMaxRecordedIssues) {
+      report_.issues.push_back(ReplayIssue{seq, std::move(message)});
+    }
+  }
+
+  void CheckRound(const TraceEvent& e) {
+    if (in_round_ && e.round != round_) {
+      Fail(e.seq, "event round " + std::to_string(e.round) +
+                      " != current round " + std::to_string(round_));
+    }
+  }
+
+  bool fgm_round() const { return in_round_ && eps_ > 0.0; }
+
+  void Check(const TraceEvent& e) {
+    switch (e.kind) {
+      case TraceEventKind::kRunStart:
+        if (e.k >= 1) k_ = e.k;
+        break;
+
+      case TraceEventKind::kRoundStart: {
+        ++report_.rounds;
+        if (subround_open_) {
+          Fail(e.seq, "round started while a subround is still open");
+          subround_open_ = false;
+        }
+        if (e.round != last_round_ + 1) {
+          Fail(e.seq, "round numbering jumped from " +
+                          std::to_string(last_round_) + " to " +
+                          std::to_string(e.round));
+        }
+        last_round_ = e.round;
+        round_ = e.round;
+        in_round_ = true;
+        if (e.k >= 1) {
+          if (k_ > 0 && e.k != k_) Fail(e.seq, "site count k changed");
+          k_ = e.k;
+        }
+        phi0_ = e.value;
+        eps_ = e.eps;
+        subround_ = 0;
+        if (!(phi0_ < 0.0)) Fail(e.seq, "round started with phi(0) >= 0");
+        if (eps_ > 0.0) {
+          // FGM round: the termination level and initial psi, recomputed
+          // exactly as the coordinator computes them.
+          stop_level_ = eps_ * static_cast<double>(k_) * phi0_;
+          const double initial_psi = static_cast<double>(k_) * phi0_;
+          if (e.psi != initial_psi) {
+            Fail(e.seq, "round-start psi != k*phi(0)");
+          }
+          expected_psi_ = e.psi;
+          have_expected_psi_ = true;
+        } else {
+          have_expected_psi_ = false;
+        }
+        break;
+      }
+
+      case TraceEventKind::kSubroundStart: {
+        ++report_.subrounds;
+        CheckRound(e);
+        if (!fgm_round()) {
+          Fail(e.seq, "subround outside an FGM round");
+          break;
+        }
+        if (subround_open_) Fail(e.seq, "nested subround");
+        if (e.subround != subround_ + 1) {
+          Fail(e.seq, "subround numbering jumped to " +
+                          std::to_string(e.subround));
+        }
+        subround_ = e.subround;
+        subround_open_ = true;
+        increment_sum_ = 0;
+        if (have_expected_psi_ && e.psi != expected_psi_) {
+          Fail(e.seq, "psi discontinuity: subround psi differs from the "
+                      "value announced by the preceding event");
+        }
+        have_expected_psi_ = false;
+        // Certified instant: psi at or below the (negative) termination
+        // level, hence psi < 0.
+        if (!(e.psi <= stop_level_)) {
+          Fail(e.seq, "subround started with psi above eps_psi*k*phi(0)");
+        }
+        const double want_theta =
+            -e.psi / (2.0 * static_cast<double>(k_));
+        if (e.theta != want_theta) {
+          Fail(e.seq, "quantum theta != -psi/2k");
+        }
+        break;
+      }
+
+      case TraceEventKind::kIncrementMsg:
+        ++report_.increments;
+        CheckRound(e);
+        if (!subround_open_) {
+          Fail(e.seq, "counter increment outside a subround");
+          break;
+        }
+        if (e.counter <= 0) Fail(e.seq, "non-positive counter increment");
+        if (e.site < 0 || (k_ > 0 && e.site >= k_)) {
+          Fail(e.seq, "increment from invalid site");
+        }
+        increment_sum_ += e.counter;
+        break;
+
+      case TraceEventKind::kSubroundEnd:
+        CheckRound(e);
+        if (!subround_open_) {
+          Fail(e.seq, "subround end without a matching start");
+          break;
+        }
+        subround_open_ = false;
+        if (e.subround != subround_) Fail(e.seq, "subround id mismatch");
+        if (e.counter != increment_sum_) {
+          Fail(e.seq, "poll counter total " + std::to_string(e.counter) +
+                          " != sum of increments " +
+                          std::to_string(increment_sum_));
+        }
+        if (e.counter <= k_) {
+          Fail(e.seq, "phi-value poll before the counter exceeded k");
+        }
+        expected_psi_ = e.psi;
+        have_expected_psi_ = true;
+        break;
+
+      case TraceEventKind::kRebalance:
+        ++report_.rebalances;
+        CheckRound(e);
+        if (!fgm_round()) break;  // GM partial rebalances: tally only
+        if (!(e.lambda > 0.0 && e.lambda <= 1.0)) {
+          Fail(e.seq, "rebalance lambda outside (0, 1]");
+        }
+        if (!(e.value <= 0.0)) Fail(e.seq, "rebalance with psi_B > 0");
+        {
+          const double want =
+              static_cast<double>(k_) * e.lambda * phi0_ + e.value;
+          if (e.psi != want) {
+            Fail(e.seq, "rebalance psi != k*lambda*phi(0) + psi_B");
+          }
+        }
+        if (!(e.psi <= stop_level_)) {
+          Fail(e.seq, "rebalance accepted without restored slack");
+        }
+        expected_psi_ = e.psi;
+        have_expected_psi_ = true;
+        break;
+
+      case TraceEventKind::kThresholdCross:
+        CheckRound(e);
+        if (e.label != nullptr &&
+            std::strcmp(e.label, "psi-exhausted") == 0) {
+          if (!fgm_round()) {
+            Fail(e.seq, "psi-exhausted cross outside an FGM round");
+          } else if (!(e.psi >= stop_level_)) {
+            Fail(e.seq, "round ended as psi-exhausted below the "
+                        "termination level");
+          }
+        } else if (e.label != nullptr &&
+                   std::strcmp(e.label, "local-violation") == 0) {
+          if (!(e.value > 0.0)) {
+            Fail(e.seq, "local violation reported with phi <= 0");
+          }
+        }
+        break;
+
+      case TraceEventKind::kDriftFlush:
+        ++report_.flushes;
+        CheckRound(e);
+        if (e.words < 1) Fail(e.seq, "drift flush below 1 word");
+        if (e.count < 0) Fail(e.seq, "negative flush update count");
+        break;
+
+      case TraceEventKind::kMsgSent:
+        ++report_.messages;
+        if (e.words < 1) Fail(e.seq, "wire message below 1 word");
+        if (e.dir > 0) {
+          up_words_ += e.words;
+          ++up_msgs_;
+        } else {
+          down_words_ += e.words;
+          ++down_msgs_;
+        }
+        break;
+
+      case TraceEventKind::kRunEnd:
+        report_.saw_run_end = true;
+        if (e.up_words != up_words_ || e.down_words != down_words_) {
+          Fail(e.seq,
+               "summed MsgSent words (" + std::to_string(up_words_) + " up, " +
+                   std::to_string(down_words_) + " down) != TrafficStats (" +
+                   std::to_string(e.up_words) + " up, " +
+                   std::to_string(e.down_words) + " down)");
+        }
+        if (e.up_msgs != up_msgs_ || e.down_msgs != down_msgs_) {
+          Fail(e.seq, "MsgSent message counts != TrafficStats");
+        }
+        break;
+
+      case TraceEventKind::kKindCount:
+        break;
+    }
+  }
+
+  ReplayReport report_;
+  int k_ = 0;
+  bool in_round_ = false;
+  int64_t round_ = 0;
+  int64_t last_round_ = 0;
+  double phi0_ = 0.0;
+  double eps_ = 0.0;
+  double stop_level_ = 0.0;
+  bool subround_open_ = false;
+  int64_t subround_ = 0;
+  int64_t increment_sum_ = 0;
+  double expected_psi_ = 0.0;
+  bool have_expected_psi_ = false;
+  int64_t up_words_ = 0, down_words_ = 0;
+  int64_t up_msgs_ = 0, down_msgs_ = 0;
+};
+
+}  // namespace
+
+std::string ReplayReport::Summary() const {
+  std::ostringstream out;
+  out << "events=" << events << " rounds=" << rounds << " subrounds="
+      << subrounds << " increments=" << increments << " flushes=" << flushes
+      << " rebalances=" << rebalances << " messages=" << messages
+      << " words=" << (up_words + down_words)
+      << (saw_run_end ? "" : " (no RunEnd totals)");
+  if (ok()) {
+    out << " — all invariants hold";
+  } else {
+    out << " — " << issue_count << " violation(s)";
+    for (const ReplayIssue& issue : issues) {
+      out << "\n  seq " << issue.seq << ": " << issue.message;
+    }
+    if (issue_count > static_cast<int64_t>(issues.size())) {
+      out << "\n  ... and " << (issue_count - issues.size()) << " more";
+    }
+  }
+  return out.str();
+}
+
+ReplayReport CheckTrace(std::istream& in) { return Checker().Run(in); }
+
+ReplayReport CheckTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ReplayReport report;
+    report.issue_count = 1;
+    report.issues.push_back(ReplayIssue{-1, "cannot open " + path});
+    return report;
+  }
+  return CheckTrace(in);
+}
+
+}  // namespace fgm

@@ -1,0 +1,79 @@
+// Trace-replay invariant checker.
+//
+// Reads a JSONL event trace (obs/trace.h) and re-verifies the protocol
+// invariants offline, independent of the code that produced the trace:
+//
+//  * ψ ≤ 0 at every certified instant — every subround starts with
+//    ψ ≤ ε_ψ·k·φ(0) < 0, and the value matches the one announced by the
+//    preceding RoundStart / SubroundEnd / Rebalance event bit-exactly;
+//  * the quantum obeys θ = -ψ/2k (recomputed from the traced ψ);
+//  * subround termination obeys the ε_ψ·k·φ(0) test: a ThresholdCross
+//    with reason "psi-exhausted" requires ψ ≥ ε_ψ·k·φ(0), and subrounds
+//    only continue below it;
+//  * counter totals match the quantum arithmetic: the coordinator total
+//    at each poll equals the sum of the positive per-site increments of
+//    that subround and exceeds k;
+//  * rebalances restore slack: λ ∈ (0,1], ψ_B ≤ 0, and the restored
+//    ψ = kλφ(0) + ψ_B stays at or below the termination level;
+//  * summed per-message MsgSent words equal the RunEnd TrafficStats
+//    totals exactly (closing the loop on strict wire accounting).
+//
+// All double comparisons are exact: the JSONL sink prints with round-trip
+// precision and the checker recomputes with the same operation order the
+// protocol used, so any mismatch is a real divergence, not rounding.
+
+#ifndef FGM_OBS_REPLAY_H_
+#define FGM_OBS_REPLAY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fgm {
+
+/// Parses one JSONL trace line back into a TraceEvent. Returns false and
+/// sets `*error` on malformed lines or unknown event kinds. String fields
+/// ("msg", "reason", "protocol") are resolved to static storage via
+/// interning, so the returned event owns nothing.
+bool ParseTraceEventJson(const std::string& line, TraceEvent* event,
+                         std::string* error);
+
+struct ReplayIssue {
+  int64_t seq = -1;  ///< event sequence number, -1 = whole-trace issue
+  std::string message;
+};
+
+struct ReplayReport {
+  // Tallies of what the trace contained.
+  int64_t events = 0;
+  int64_t rounds = 0;
+  int64_t subrounds = 0;
+  int64_t increments = 0;
+  int64_t flushes = 0;
+  int64_t rebalances = 0;
+  int64_t messages = 0;
+  int64_t up_words = 0;
+  int64_t down_words = 0;
+  bool saw_run_end = false;
+
+  /// Total violations found; `issues` records the first few in detail.
+  int64_t issue_count = 0;
+  std::vector<ReplayIssue> issues;
+
+  bool ok() const { return issue_count == 0; }
+  /// Human-readable one-line summary (+ issue lines when failing).
+  std::string Summary() const;
+};
+
+/// Checks a trace read line-by-line from `in`.
+ReplayReport CheckTrace(std::istream& in);
+
+/// Checks a trace file; reports an issue when the file cannot be opened.
+ReplayReport CheckTraceFile(const std::string& path);
+
+}  // namespace fgm
+
+#endif  // FGM_OBS_REPLAY_H_

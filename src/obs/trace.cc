@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace fgm {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRunStart:
+      return "RunStart";
+    case TraceEventKind::kRoundStart:
+      return "RoundStart";
+    case TraceEventKind::kSubroundStart:
+      return "SubroundStart";
+    case TraceEventKind::kSubroundEnd:
+      return "SubroundEnd";
+    case TraceEventKind::kIncrementMsg:
+      return "IncrementMsg";
+    case TraceEventKind::kDriftFlush:
+      return "DriftFlush";
+    case TraceEventKind::kRebalance:
+      return "Rebalance";
+    case TraceEventKind::kThresholdCross:
+      return "ThresholdCross";
+    case TraceEventKind::kMsgSent:
+      return "MsgSent";
+    case TraceEventKind::kRunEnd:
+      return "RunEnd";
+    case TraceEventKind::kKindCount:
+      break;
+  }
+  return "unknown";
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : out_(std::fopen(path.c_str(), "w")) {
+  FGM_CHECK(out_ != nullptr);
+}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+std::string JsonlTraceSink::EventJson(const TraceEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("ev", TraceEventKindName(e.kind));
+  w.Field("seq", e.seq);
+  switch (e.kind) {
+    case TraceEventKind::kRunStart:
+      w.Field("protocol", e.label != nullptr ? e.label : "?");
+      w.Field("k", static_cast<int64_t>(e.k));
+      break;
+    case TraceEventKind::kRoundStart:
+      w.Field("round", e.round);
+      w.Field("k", static_cast<int64_t>(e.k));
+      w.Field("psi", e.psi);
+      w.Field("phi0", e.value);
+      w.Field("eps_psi", e.eps);
+      break;
+    case TraceEventKind::kSubroundStart:
+      w.Field("round", e.round);
+      w.Field("subround", e.subround);
+      w.Field("psi", e.psi);
+      w.Field("theta", e.theta);
+      break;
+    case TraceEventKind::kSubroundEnd:
+      w.Field("round", e.round);
+      w.Field("subround", e.subround);
+      w.Field("psi", e.psi);
+      w.Field("counter", e.counter);
+      break;
+    case TraceEventKind::kIncrementMsg:
+      w.Field("round", e.round);
+      w.Field("subround", e.subround);
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("increment", e.counter);
+      break;
+    case TraceEventKind::kDriftFlush:
+      w.Field("round", e.round);
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("words", e.words);
+      w.Field("updates", e.count);
+      break;
+    case TraceEventKind::kRebalance:
+      w.Field("round", e.round);
+      w.Field("lambda", e.lambda);
+      w.Field("psi_b", e.value);
+      w.Field("psi", e.psi);
+      break;
+    case TraceEventKind::kThresholdCross:
+      w.Field("round", e.round);
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("psi", e.psi);
+      w.Field("value", e.value);
+      w.Field("reason", e.label != nullptr ? e.label : "?");
+      break;
+    case TraceEventKind::kMsgSent:
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("msg", e.label != nullptr ? e.label : "?");
+      w.Field("dir", e.dir > 0 ? "up" : "down");
+      w.Field("words", e.words);
+      break;
+    case TraceEventKind::kRunEnd:
+      w.Field("events", e.count);
+      w.Field("up_words", e.up_words);
+      w.Field("down_words", e.down_words);
+      w.Field("up_msgs", e.up_msgs);
+      w.Field("down_msgs", e.down_msgs);
+      break;
+    case TraceEventKind::kKindCount:
+      break;
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+void JsonlTraceSink::OnEvent(const TraceEvent& event) {
+  const std::string line = EventJson(event);
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fputc('\n', out_);
+}
+
+}  // namespace fgm

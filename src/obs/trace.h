@@ -1,0 +1,128 @@
+// Structured protocol event traces.
+//
+// The FGM/GM protocols compute the quantities that define their behaviour
+// — the ψ trajectory across subrounds, the quantum θ = -ψ/2k, counter
+// increments c_i, rebalance scales λ, per-message word costs — and then
+// throw them away. A TraceSink captures them as typed events so a run can
+// be debugged, plotted, or re-verified offline (obs/replay.h checks the
+// protocol invariants event by event).
+//
+// Tracing is OFF by default and must stay free when off: every emitter
+// holds a raw `TraceSink*` that is null when disabled, and each hook is a
+// single pointer test (`if (trace_ != nullptr) { build event; emit; }`) —
+// the event is only constructed inside the branch. bench_micro measures
+// the disabled hook to keep this honest.
+
+#ifndef FGM_OBS_TRACE_H_
+#define FGM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fgm {
+
+enum class TraceEventKind : int {
+  kRunStart = 0,    ///< driver: protocol/query identity, k
+  kRoundStart,      ///< coordinator: new round, φ(0), ε_ψ, initial ψ
+  kSubroundStart,   ///< coordinator: ψ at entry and the quantum θ = -ψ/2k
+  kSubroundEnd,     ///< coordinator: recomputed ψ after the φ-value poll
+  kIncrementMsg,    ///< site → coordinator counter increment (c_i raise)
+  kDriftFlush,      ///< site → coordinator drift flush (words, updates)
+  kRebalance,       ///< coordinator: accepted rebalance (λ, ψ_B, new ψ)
+  kThresholdCross,  ///< ψ reached the termination level / GM site violation
+  kMsgSent,         ///< one wire message (kind, direction, words)
+  kRunEnd,          ///< driver: final TrafficStats totals
+  kKindCount,
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One protocol event. Flat by design: every field is a plain scalar so
+/// sinks can store or serialize events without allocation; each event
+/// kind populates (and serializes) only its relevant fields — see
+/// JsonlTraceSink for the per-kind JSON schema.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kRunStart;
+  int64_t seq = 0;       ///< assigned by the sink, dense from 0
+  int site = -1;         ///< -1 = coordinator / whole run
+  int64_t round = 0;     ///< 1-based protocol round
+  int64_t subround = 0;  ///< 1-based subround within the round
+  double psi = 0.0;      ///< coordinator's ψ (incl. ψ_B) for the event
+  double theta = 0.0;    ///< subround quantum
+  double lambda = 0.0;   ///< rebalancing scale
+  double value = 0.0;    ///< φ(0) (RoundStart), ψ_B (Rebalance), φ (GM)
+  double eps = 0.0;      ///< ε_ψ (RoundStart)
+  int k = 0;             ///< number of sites (RunStart / RoundStart)
+  int64_t counter = 0;   ///< counter increment / post-poll counter total
+  int64_t words = 0;     ///< words on the wire (MsgSent, DriftFlush)
+  int64_t count = 0;     ///< update count (DriftFlush), events (RunEnd)
+  int dir = 0;           ///< MsgSent: +1 coord → site, -1 site → coord
+  int64_t up_words = 0, down_words = 0;  ///< RunEnd traffic totals
+  int64_t up_msgs = 0, down_msgs = 0;
+  const char* label = nullptr;  ///< static string: msg kind, protocol name
+};
+
+/// Event consumer. Emitters call Emit(), which stamps the sequence number
+/// and forwards to the implementation.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  void Emit(TraceEvent event) {
+    event.seq = next_seq_++;
+    OnEvent(event);
+  }
+
+  int64_t events() const { return next_seq_; }
+
+ protected:
+  virtual void OnEvent(const TraceEvent& event) = 0;
+
+ private:
+  int64_t next_seq_ = 0;
+};
+
+/// Buffers all events in memory (tests, in-process analysis).
+class MemoryTraceSink : public TraceSink {
+ public:
+  const std::vector<TraceEvent>& events_log() const { return events_; }
+
+ protected:
+  void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Counts events and otherwise discards them (overhead measurement).
+class CountingTraceSink : public TraceSink {
+ protected:
+  void OnEvent(const TraceEvent&) override {}
+};
+
+/// Writes one JSON object per event (JSONL). Doubles are emitted with
+/// round-trip precision so the replay checker can re-verify the protocol
+/// arithmetic bit-exactly. Schema: every line carries "ev" and "seq";
+/// the remaining keys depend on the event kind and are exactly the fields
+/// listed per kind in EventJson().
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Opens `path` for writing; FGM_CHECKs on failure.
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  /// Renders one event as its JSONL line (no trailing newline).
+  static std::string EventJson(const TraceEvent& event);
+
+ protected:
+  void OnEvent(const TraceEvent& event) override;
+
+ private:
+  std::FILE* out_;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_OBS_TRACE_H_

@@ -61,7 +61,11 @@ int64_t CountHistogram::Quantile(double q) const {
   int64_t seen = 0;
   for (size_t v = 0; v < buckets_.size(); ++v) {
     seen += buckets_[v];
-    if (static_cast<double>(seen) >= target) return static_cast<int64_t>(v);
+    // `seen > 0` keeps q = 0 (target = 0) from answering an empty prefix:
+    // the 0-quantile is the minimum observed bucket.
+    if (seen > 0 && static_cast<double>(seen) >= target) {
+      return static_cast<int64_t>(v);
+    }
   }
   return static_cast<int64_t>(buckets_.size() - 1);
 }

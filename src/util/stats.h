@@ -38,8 +38,14 @@ class CountHistogram {
   int64_t total() const { return total_; }
   int64_t CountAt(int64_t value) const;
   int64_t max_observed() const { return max_observed_; }
+  /// Index of the overflow bucket; every value >= this is aggregated there.
+  int64_t bucket_limit() const {
+    return static_cast<int64_t>(buckets_.size()) - 1;
+  }
   double Mean() const;
-  /// Smallest v such that at least `q` fraction of samples are <= v.
+  /// Smallest v such that at least `q` fraction of samples are <= v and at
+  /// least one sample is <= v; Quantile(0.0) is the minimum observed
+  /// bucket (not bucket 0 when no sample landed there).
   int64_t Quantile(double q) const;
 
  private:

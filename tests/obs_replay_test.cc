@@ -1,0 +1,125 @@
+// End-to-end replay validation: every protocol kind, run under strict
+// wire accounting, produces a JSONL trace that the offline checker
+// certifies, with summed per-message words bit-matching the run's
+// TrafficStats. Also exercises the checker's failure paths on tampered
+// and missing traces.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/runner.h"
+#include "obs/replay.h"
+#include "stream/worldcup.h"
+
+namespace fgm {
+namespace {
+
+std::vector<StreamRecord> SmallTrace(int sites) {
+  WorldCupConfig config;
+  config.sites = sites;
+  config.total_updates = 30000;
+  config.duration = 86400.0;
+  config.distinct_clients = 20000;
+  return GenerateWorldCupTrace(config);
+}
+
+RunConfig SmallRun(ProtocolKind kind, const std::string& trace_path) {
+  RunConfig config;
+  config.protocol = kind;
+  config.sites = 5;
+  config.depth = 5;
+  config.width = 60;
+  config.epsilon = 0.1;
+  config.strict_wire = true;
+  config.trace_out = trace_path;
+  return config;
+}
+
+class ReplayAllProtocols : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ReplayAllProtocols, TraceCertifiesAndWordsMatch) {
+  const ProtocolKind kind = GetParam();
+  const std::string path = ::testing::TempDir() + "/replay_" +
+                           std::to_string(static_cast<int>(kind)) + ".jsonl";
+  const RunConfig config = SmallRun(kind, path);
+  const RunResult result = ::fgm::Run(config, SmallTrace(config.sites));
+
+  const ReplayReport report = CheckTraceFile(path);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.saw_run_end);
+  EXPECT_GT(report.events, 0);
+  // Summed per-message trace words bit-match the run's TrafficStats.
+  EXPECT_EQ(report.up_words, result.traffic.upstream_words);
+  EXPECT_EQ(report.down_words, result.traffic.downstream_words);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ReplayAllProtocols,
+    ::testing::Values(ProtocolKind::kCentral, ProtocolKind::kGm,
+                      ProtocolKind::kFgmBasic, ProtocolKind::kFgm,
+                      ProtocolKind::kFgmOpt),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      switch (info.param) {
+        case ProtocolKind::kCentral:
+          return std::string("Central");
+        case ProtocolKind::kGm:
+          return std::string("Gm");
+        case ProtocolKind::kFgmBasic:
+          return std::string("FgmBasic");
+        case ProtocolKind::kFgm:
+          return std::string("Fgm");
+        case ProtocolKind::kFgmOpt:
+          return std::string("FgmOpt");
+      }
+      return std::string("Unknown");
+    });
+
+TEST(ReplayChecker, DetectsTamperedCounterTotal) {
+  const std::string path = ::testing::TempDir() + "/replay_tamper.jsonl";
+  const RunConfig config = SmallRun(ProtocolKind::kFgm, path);
+  ::fgm::Run(config, SmallTrace(config.sites));
+
+  // Corrupt the first poll's counter total; the quantum arithmetic check
+  // must flag it.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string tampered, line;
+  bool corrupted = false;
+  while (std::getline(in, line)) {
+    const size_t at = line.find("\"counter\":");
+    if (!corrupted && line.find("\"ev\":\"SubroundEnd\"") != std::string::npos &&
+        at != std::string::npos) {
+      size_t digits_begin = at + std::string("\"counter\":").size();
+      size_t digits_end = digits_begin;
+      while (digits_end < line.size() && std::isdigit(line[digits_end])) {
+        ++digits_end;
+      }
+      line.replace(digits_begin, digits_end - digits_begin, "999999999");
+      corrupted = true;
+    }
+    tampered += line + "\n";
+  }
+  in.close();
+  std::remove(path.c_str());
+  ASSERT_TRUE(corrupted) << "expected at least one SubroundEnd in the trace";
+
+  std::istringstream tampered_in(tampered);
+  const ReplayReport report = CheckTrace(tampered_in);
+  EXPECT_FALSE(report.ok()) << "tampered counter must be detected";
+}
+
+TEST(ReplayChecker, MissingFileIsAnIssue) {
+  const ReplayReport report =
+      CheckTraceFile(::testing::TempDir() + "/no_such_trace.jsonl");
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace fgm

@@ -1,0 +1,221 @@
+// Observability layer: trace-sink event ordering under a real multi-round
+// FGM run, the metrics registry and its JSON export, and the JSONL event
+// schema (golden lines + parse round-trip).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/fgm_protocol.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/replay.h"
+#include "obs/trace.h"
+#include "query/query.h"
+#include "sketch/fast_agms.h"
+#include "stream/record.h"
+#include "util/rng.h"
+
+namespace fgm {
+namespace {
+
+TEST(TraceSink, FgmRunEventOrdering) {
+  auto proj = std::make_shared<const AgmsProjection>(5, 100, 42);
+  SelfJoinQuery query(proj, 0.1);
+  MemoryTraceSink sink;
+  FgmConfig config;
+  config.trace = &sink;
+  const int k = 4;
+  FgmProtocol protocol(&query, k, config);
+  Xoshiro256ss rng(11);
+  StreamRecord rec;
+  for (int i = 0; i < 40000; ++i) {
+    rec.site = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(k)));
+    rec.cid = rng.NextBounded(5000);
+    protocol.ProcessRecord(rec);
+  }
+  ASSERT_GT(protocol.rounds(), 1) << "test needs a multi-round run";
+
+  const auto& events = sink.events_log();
+  ASSERT_FALSE(events.empty());
+  // The sink stamps dense sequence numbers starting at 0.
+  for (size_t i = 0; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].seq, static_cast<int64_t>(i));
+  }
+  // The protocol opens round 1 at construction, before anything else.
+  EXPECT_EQ(events[0].kind, TraceEventKind::kRoundStart);
+  EXPECT_EQ(events[0].round, 1);
+
+  int64_t round_starts = 0, subround_starts = 0, rebalances = 0;
+  int64_t current_round = 0, current_subround = 0;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kRoundStart:
+        ++round_starts;
+        EXPECT_EQ(e.round, round_starts) << "rounds numbered consecutively";
+        EXPECT_EQ(e.k, k);
+        EXPECT_LT(e.value, 0.0) << "phi(0) < 0";
+        current_round = e.round;
+        current_subround = 0;
+        break;
+      case TraceEventKind::kSubroundStart:
+        ++subround_starts;
+        EXPECT_EQ(e.round, current_round) << "subround outside its round";
+        EXPECT_EQ(e.subround, current_subround + 1);
+        EXPECT_LT(e.psi, 0.0);
+        EXPECT_GT(e.theta, 0.0);
+        current_subround = e.subround;
+        break;
+      case TraceEventKind::kIncrementMsg:
+        EXPECT_EQ(e.round, current_round);
+        EXPECT_EQ(e.subround, current_subround);
+        EXPECT_GE(e.site, 0);
+        EXPECT_LT(e.site, k);
+        EXPECT_GT(e.counter, 0);
+        break;
+      case TraceEventKind::kRebalance:
+        ++rebalances;
+        EXPECT_EQ(e.round, current_round);
+        EXPECT_GT(e.lambda, 0.0);
+        EXPECT_LE(e.lambda, 1.0);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(round_starts, protocol.rounds());
+  EXPECT_EQ(subround_starts, protocol.subrounds());
+  EXPECT_EQ(rebalances, protocol.rebalances());
+  EXPECT_EQ(sink.events(), static_cast<int64_t>(events.size()));
+}
+
+TEST(MetricsRegistry, InstrumentsAndPointerStability) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("rounds");
+  c->Add(3);
+  c->Add();
+  EXPECT_EQ(c->value(), 4);
+  EXPECT_EQ(registry.GetCounter("rounds"), c) << "same name, same instrument";
+
+  registry.GetGauge("comm_cost")->Set(0.25);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("comm_cost")->value(), 0.25);
+
+  RunningStats* s = registry.GetStats("psi");
+  s->Add(1.0);
+  s->Add(3.0);
+  EXPECT_DOUBLE_EQ(s->mean(), 2.0);
+
+  CountHistogram* h = registry.GetHistogram("subrounds_per_round");
+  h->Add(7);
+  h->Add(7);
+  h->Add(9);
+  EXPECT_EQ(h->total(), 3);
+
+  WallTimer* t = registry.GetTimer("sketch_update");
+  t->AddSeconds(0.5);
+  EXPECT_EQ(t->count(), 1);
+}
+
+TEST(MetricsRegistry, JsonExportCarriesEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("events")->Add(42);
+  registry.GetGauge("cost")->Set(0.5);
+  registry.GetStats("psi")->Add(2.0);
+  registry.GetHistogram("rounds")->Add(3);
+  registry.GetTimer("encode")->AddSeconds(1.5);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"cost\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"encode\""), std::string::npos);
+}
+
+TEST(ScopedTimer, NullTimerIsANoOp) {
+  // Must not crash and must not require a registry.
+  ScopedTimer timer(nullptr);
+}
+
+// Golden JSONL lines: the schema is a contract with the offline checker
+// and external tooling; a change here must be deliberate.
+TEST(JsonlSchema, GoldenEventLines) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kRoundStart;
+  e.seq = 1;
+  e.round = 2;
+  e.k = 4;
+  e.psi = -4.0;
+  e.value = -1.0;
+  e.eps = 0.0078125;
+  EXPECT_EQ(JsonlTraceSink::EventJson(e),
+            "{\"ev\":\"RoundStart\",\"seq\":1,\"round\":2,\"k\":4,"
+            "\"psi\":-4,\"phi0\":-1,\"eps_psi\":0.0078125}");
+
+  e = TraceEvent();
+  e.kind = TraceEventKind::kSubroundStart;
+  e.seq = 2;
+  e.round = 2;
+  e.subround = 1;
+  e.psi = -4.0;
+  e.theta = 0.5;
+  EXPECT_EQ(JsonlTraceSink::EventJson(e),
+            "{\"ev\":\"SubroundStart\",\"seq\":2,\"round\":2,"
+            "\"subround\":1,\"psi\":-4,\"theta\":0.5}");
+
+  e = TraceEvent();
+  e.kind = TraceEventKind::kMsgSent;
+  e.seq = 3;
+  e.site = 0;
+  e.label = "Quantum";
+  e.dir = -1;
+  e.words = 3;
+  EXPECT_EQ(JsonlTraceSink::EventJson(e),
+            "{\"ev\":\"MsgSent\",\"seq\":3,\"site\":0,\"msg\":\"Quantum\","
+            "\"dir\":\"down\",\"words\":3}");
+
+  e = TraceEvent();
+  e.kind = TraceEventKind::kRunEnd;
+  e.seq = 4;
+  e.count = 10;
+  e.up_words = 100;
+  e.down_words = 50;
+  e.up_msgs = 7;
+  e.down_msgs = 6;
+  EXPECT_EQ(JsonlTraceSink::EventJson(e),
+            "{\"ev\":\"RunEnd\",\"seq\":4,\"events\":10,\"up_words\":100,"
+            "\"down_words\":50,\"up_msgs\":7,\"down_msgs\":6}");
+}
+
+TEST(JsonlSchema, ParseRoundTripsBitExactly) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kSubroundStart;
+  e.seq = 9;
+  e.round = 3;
+  e.subround = 2;
+  e.psi = -1.2345678901234567e-3;  // needs full %.17g round-trip
+  e.theta = e.psi / -8.0;
+  const std::string line = JsonlTraceSink::EventJson(e);
+
+  TraceEvent parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTraceEventJson(line, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.kind, TraceEventKind::kSubroundStart);
+  EXPECT_EQ(parsed.seq, 9);
+  EXPECT_EQ(parsed.round, 3);
+  EXPECT_EQ(parsed.subround, 2);
+  EXPECT_EQ(parsed.psi, e.psi) << "double must round-trip bit-exactly";
+  EXPECT_EQ(parsed.theta, e.theta);
+
+  EXPECT_FALSE(ParseTraceEventJson("{\"ev\":\"NoSuchEvent\",\"seq\":0}",
+                                   &parsed, &error));
+  EXPECT_FALSE(ParseTraceEventJson("not json", &parsed, &error));
+}
+
+}  // namespace
+}  // namespace fgm

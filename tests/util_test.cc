@@ -232,5 +232,16 @@ TEST(CountHistogram, QuantilesAndOverflow) {
   EXPECT_EQ(h.max_observed(), 1000);
 }
 
+TEST(CountHistogram, QuantileZeroIsMinimumObservedBucket) {
+  CountHistogram h(10);
+  for (int i = 0; i < 5; ++i) h.Add(3);
+  h.Add(7);
+  // Quantile(0.0) must report the smallest populated bucket, not bucket 0.
+  EXPECT_EQ(h.Quantile(0.0), 3);
+  EXPECT_EQ(h.Quantile(1.0), 7);
+  h.Add(1);
+  EXPECT_EQ(h.Quantile(0.0), 1);
+}
+
 }  // namespace
 }  // namespace fgm

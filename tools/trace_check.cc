@@ -1,0 +1,25 @@
+// Offline trace-replay invariant checker (obs/replay.h).
+//
+//   ./build/tools/trace_check TRACE.jsonl [MORE.jsonl ...]
+//
+// Exit code 0 when every trace satisfies the protocol invariants
+// (ψ-certification, quantum arithmetic, counter totals, wire-word
+// accounting), 1 when any violation is found, 2 on usage errors.
+
+#include <cstdio>
+
+#include "obs/replay.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s TRACE.jsonl [MORE.jsonl ...]\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const fgm::ReplayReport report = fgm::CheckTraceFile(argv[i]);
+    std::printf("%s: %s\n", argv[i], report.Summary().c_str());
+    ok = ok && report.ok();
+  }
+  return ok ? 0 : 1;
+}
