@@ -1,20 +1,27 @@
 // Micro benchmarks (google-benchmark): throughput of the data-path
 // building blocks — sketch updates, incremental safe-function evaluation,
-// and end-to-end protocol record processing.
+// and end-to-end protocol record processing. After the google-benchmark
+// suite, main() runs the serial-vs-parallel speedup grid and exports it
+// as BENCH_parallel_speedup.json (see bench_common.h / FGM_BENCH_OUT).
 
 #include <cmath>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/fgm_protocol.h"
+#include "driver/runner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/query.h"
 #include "safezone/join_sz.h"
 #include "safezone/selfjoin_sz.h"
 #include "sketch/fast_agms.h"
+#include "stream/worldcup.h"
 #include "util/rng.h"
 
 namespace fgm {
@@ -49,6 +56,28 @@ void BM_SketchUpdate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SketchUpdate)->Args({5, 500})->Args({7, 1000})->Args({7, 5000});
+
+// Row-major batched ingestion (FastAgms::UpdateBatch); bit-identical to
+// the per-record loop above, measured per update for the same geometry.
+void BM_SketchUpdateBatch(benchmark::State& state) {
+  auto proj = Projection(static_cast<int>(state.range(0)),
+                         static_cast<int>(state.range(1)));
+  FastAgms sketch(proj);
+  Xoshiro256ss rng(1);
+  constexpr size_t kBatch = 1024;
+  std::vector<uint64_t> keys(kBatch);
+  std::vector<double> weights(kBatch, 1.0);
+  for (auto& key : keys) key = rng.NextBounded(1000000);
+  for (auto _ : state) {
+    sketch.UpdateBatch(keys.data(), weights.data(), kBatch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_SketchUpdateBatch)
+    ->Args({5, 500})
+    ->Args({7, 1000})
+    ->Args({7, 5000});
 
 void BM_SelfJoinEstimate(benchmark::State& state) {
   auto proj = Projection(7, static_cast<int>(state.range(0)));
@@ -139,7 +168,64 @@ void BM_FgmProcessRecordTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_FgmProcessRecordTraced)->Arg(4)->Arg(27);
 
+// Serial vs. parallel end-to-end runs over the k × threads grid. Written
+// to BENCH_parallel_speedup.json; wall-clock speedups depend on the host
+// core count (a 1-core machine reports ≈1.0 or below by construction),
+// while the traffic equality is checked unconditionally.
+void RunParallelSpeedupGrid() {
+  bench::JsonReport::Get().Init("parallel_speedup");
+  std::printf("\nparallel speedup grid (Q1 self-join, 200k updates):\n");
+  for (int k : {8, 32}) {
+    WorldCupConfig wc;
+    wc.sites = k;
+    wc.total_updates = 200000;
+    const std::vector<StreamRecord> trace = GenerateWorldCupTrace(wc);
+    double serial_wall = 0.0;
+    int64_t serial_words = 0;
+    for (int threads : {1, 2, 8}) {
+      RunConfig config;
+      config.query = QueryKind::kSelfJoin;
+      config.protocol = ProtocolKind::kFgm;
+      config.sites = k;
+      config.depth = 5;
+      config.width = 300;
+      config.threads = threads;
+      const RunResult r = Run(config, trace);
+      if (threads == 1) {
+        serial_wall = r.wall_seconds;
+        serial_words = r.traffic.total_words();
+      } else if (r.traffic.total_words() != serial_words) {
+        std::fprintf(stderr,
+                     "parallel run diverged from serial traffic "
+                     "(k=%d threads=%d)\n",
+                     k, threads);
+        std::exit(1);
+      }
+      const double speedup =
+          r.wall_seconds > 0.0 ? serial_wall / r.wall_seconds : 0.0;
+      std::printf("  k=%-3d threads=%d wall=%.3fs speedup=%.2fx\n", k,
+                  threads, r.wall_seconds, speedup);
+      bench::JsonReport::Get().AddEntry(
+          "k=" + std::to_string(k) + ",threads=" + std::to_string(threads),
+          {{"k", static_cast<double>(k)},
+           {"threads", static_cast<double>(threads)},
+           {"wall_seconds", r.wall_seconds},
+           {"speedup", speedup},
+           {"windows", static_cast<double>(r.parallel_windows)},
+           {"barriers", static_cast<double>(r.parallel_barriers)},
+           {"replayed", static_cast<double>(r.replayed_records)}});
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fgm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fgm::RunParallelSpeedupGrid();
+  return 0;
+}

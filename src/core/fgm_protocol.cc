@@ -49,35 +49,39 @@ std::string FgmProtocol::name() const {
 }
 
 void FgmProtocol::ProcessRecord(const StreamRecord& record) {
-  FGM_CHECK(record.site >= 0 && record.site < sites_k_);
-  delta_scratch_.clear();
-  {
-    ScopedTimer timed(sketch_timer_);
-    query_->MapRecord(record, &delta_scratch_);
-  }
-  ++total_updates_;
-  FgmSite& site = sites_[static_cast<size_t>(record.site)];
-  int64_t increment;
-  {
-    ScopedTimer timed(safe_fn_timer_);
-    increment = site.ApplyUpdate(record, delta_scratch_);
-  }
+  const int64_t increment = LocalProcess(record, nullptr);
+  CommitRecords(1);
   if (increment > 0) {
-    // One-word message carrying the increase to c_i.
-    const CounterMsg delivered =
-        transport_->SendCounter(record.site, CounterMsg{increment});
-    counter_total_ += delivered.increment;
-    if (trace_ != nullptr) {
-      TraceEvent e;
-      e.kind = TraceEventKind::kIncrementMsg;
-      e.round = rounds_;
-      e.subround = subrounds_this_round_;
-      e.site = record.site;
-      e.counter = delivered.increment;
-      trace_->Emit(e);
-    }
-    if (counter_total_ > sites_k_) PollAndAdvance();
+    CommitEvent(LocalEvent{0, record.site, increment, 0.0});
   }
+}
+
+int64_t FgmProtocol::LocalProcess(const StreamRecord& record, double* value) {
+  FGM_CHECK(record.site >= 0 && record.site < sites_k_);
+  (void)value;  // FGM events carry the counter increment, not a φ-value.
+  FgmSite& site = sites_[static_cast<size_t>(record.site)];
+  return site.Process(*query_, record, sketch_timer_, safe_fn_timer_);
+}
+
+bool FgmProtocol::CommitEvent(const LocalEvent& event) {
+  // One-word message carrying the increase to c_i.
+  const CounterMsg delivered =
+      transport_->SendCounter(event.site, CounterMsg{event.weight});
+  counter_total_ += delivered.increment;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kIncrementMsg;
+    e.round = rounds_;
+    e.subround = subrounds_this_round_;
+    e.site = event.site;
+    e.counter = delivered.increment;
+    trace_->Emit(e);
+  }
+  if (counter_total_ > sites_k_) {
+    PollAndAdvance();
+    return true;
+  }
+  return false;
 }
 
 void FgmProtocol::StartRound() {

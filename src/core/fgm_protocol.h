@@ -28,6 +28,7 @@
 #include "core/fgm_config.h"
 #include "core/fgm_site.h"
 #include "core/optimizer.h"
+#include "exec/sharded.h"
 #include "net/network.h"
 #include "net/protocol.h"
 #include "net/transport.h"
@@ -38,7 +39,7 @@
 
 namespace fgm {
 
-class FgmProtocol : public MonitoringProtocol {
+class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
  public:
   /// `query` must outlive the protocol.
   FgmProtocol(const ContinuousQuery* query, int num_sites, FgmConfig config);
@@ -86,6 +87,23 @@ class FgmProtocol : public MonitoringProtocol {
 
   /// The transport carrying this protocol's messages (testing hook).
   const Transport& transport() const { return *transport_; }
+
+  // ShardedProtocol — one shard per site. Speculation may raise up to
+  // k - c + 1 more counter-increment weight before the commit path is
+  // guaranteed to trigger PollAndAdvance (counter_total_ > k).
+  int shard_count() const override { return sites_k_; }
+  int64_t SpeculationBudget() const override {
+    return static_cast<int64_t>(sites_k_) - counter_total_ + 1;
+  }
+  int64_t LocalProcess(const StreamRecord& record, double* value) override;
+  void CommitRecords(int64_t count) override { total_updates_ += count; }
+  bool CommitEvent(const LocalEvent& event) override;
+  void SaveCheckpoint(int shard) override {
+    sites_[static_cast<size_t>(shard)].SaveCheckpoint();
+  }
+  void RestoreCheckpoint(int shard) override {
+    sites_[static_cast<size_t>(shard)].RestoreCheckpoint();
+  }
 
  private:
   void StartRound();
@@ -159,7 +177,6 @@ class FgmProtocol : public MonitoringProtocol {
   int64_t full_function_ships_ = 0;
   int64_t total_function_ships_ = 0;
 
-  std::vector<CellUpdate> delta_scratch_;
   RealVector flush_scratch_;  // verbatim-flush re-projection target
 };
 

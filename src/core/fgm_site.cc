@@ -8,7 +8,8 @@ namespace fgm {
 
 void FgmSite::BeginRound(const SafeFunction* fn) {
   FGM_CHECK(fn != nullptr);
-  evaluator_ = fn->MakeEvaluator();
+  // Wrapped with the FGM_PARANOID cross-check when the env var is set.
+  evaluator_ = MakeCheckedEvaluator(fn, fn->MakeEvaluator());
   lambda_ = 1.0;
   quantum_ = 1.0;
   z_ = 0.0;
@@ -25,6 +26,18 @@ void FgmSite::BeginSubround(double quantum) {
   value_min_ = z_;
   value_max_ = z_;
   counter_ = 0;
+}
+
+int64_t FgmSite::Process(const ContinuousQuery& query,
+                         const StreamRecord& record, WallTimer* sketch_timer,
+                         WallTimer* safe_fn_timer) {
+  deltas_.clear();
+  {
+    ScopedTimer timed(sketch_timer);
+    query.MapRecord(record, &deltas_);
+  }
+  ScopedTimer timed(safe_fn_timer);
+  return ApplyUpdate(record, deltas_);
 }
 
 int64_t FgmSite::ApplyUpdate(const StreamRecord& record,
@@ -65,6 +78,29 @@ void FgmSite::FlushReset() {
   evaluator_->Reset();
   updates_since_flush_ = 0;
   log_.Reset();
+}
+
+void FgmSite::SaveCheckpoint() {
+  checkpoint_.evaluator = evaluator_->Clone();
+  checkpoint_.mark = log_.MarkPosition();
+  checkpoint_.value_min = value_min_;
+  checkpoint_.value_max = value_max_;
+  checkpoint_.counter = counter_;
+  checkpoint_.updates_since_flush = updates_since_flush_;
+  checkpoint_.updates_in_round = updates_in_round_;
+  checkpoint_.valid = true;
+}
+
+void FgmSite::RestoreCheckpoint() {
+  FGM_CHECK(checkpoint_.valid);
+  evaluator_ = std::move(checkpoint_.evaluator);
+  log_.Rewind(checkpoint_.mark);
+  value_min_ = checkpoint_.value_min;
+  value_max_ = checkpoint_.value_max;
+  counter_ = checkpoint_.counter;
+  updates_since_flush_ = checkpoint_.updates_since_flush;
+  updates_in_round_ = checkpoint_.updates_in_round;
+  checkpoint_.valid = false;
 }
 
 }  // namespace fgm

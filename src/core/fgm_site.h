@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "query/query.h"
 #include "safezone/safe_function.h"
 #include "sketch/fast_agms.h"
 #include "stream/record.h"
@@ -37,6 +39,13 @@ class FgmSite {
 
   /// Installs a new rebalancing scale.
   void SetLambda(double lambda) { lambda_ = lambda; }
+
+  /// Maps one local stream record through the query's sketch projection
+  /// (into per-site scratch — safe to call concurrently across sites) and
+  /// applies the resulting deltas; returns the counter increment to
+  /// report (0 = stay silent). Timers may be null.
+  int64_t Process(const ContinuousQuery& query, const StreamRecord& record,
+                  WallTimer* sketch_timer, WallTimer* safe_fn_timer);
 
   /// Applies the deltas of one local stream update and returns the
   /// counter increment to report (0 = stay silent). The record is logged
@@ -71,13 +80,34 @@ class FgmSite {
   int64_t updates_in_round() const { return updates_in_round_; }
   int64_t counter() const { return counter_; }
 
+  /// Snapshots the speculative state (evaluator, log position, subround
+  /// counters) so a later RestoreCheckpoint rewinds the site bit-exactly.
+  /// z_/λ/θ only move at coordinator commits and are deliberately not
+  /// saved. At most one restore per save; a new save discards the old
+  /// snapshot.
+  void SaveCheckpoint();
+  void RestoreCheckpoint();
+
  private:
+  struct Checkpoint {
+    std::unique_ptr<DriftEvaluator> evaluator;
+    RawUpdateLog::Mark mark;
+    double value_min = 0.0;
+    double value_max = 0.0;
+    int64_t counter = 0;
+    int64_t updates_since_flush = 0;
+    int64_t updates_in_round = 0;
+    bool valid = false;
+  };
+
   int64_t ApplyDeltas(const std::vector<CellUpdate>& deltas);
 
   int id_;
   size_t dim_;
   RawUpdateLog log_;
   std::unique_ptr<DriftEvaluator> evaluator_;
+  std::vector<CellUpdate> deltas_;  // per-site scratch for Process()
+  Checkpoint checkpoint_;
   double lambda_ = 1.0;
   double quantum_ = 1.0;
   double z_ = 0.0;

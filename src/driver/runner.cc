@@ -7,6 +7,7 @@
 
 #include "baseline/central.h"
 #include "core/fgm_config.h"
+#include "exec/parallel_runner.h"
 #include "query/quantile.h"
 #include "query/variance.h"
 #include "core/fgm_protocol.h"
@@ -144,6 +145,10 @@ void WriteMetricsFile(const std::string& path, const RunConfig& config,
   w.Field("final_estimate", result.final_estimate);
   w.Field("final_truth", result.final_truth);
   w.Field("wall_seconds", result.wall_seconds);
+  w.Field("threads", static_cast<int64_t>(result.threads_used));
+  w.Field("parallel_windows", result.parallel_windows);
+  w.Field("parallel_barriers", result.parallel_barriers);
+  w.Field("replayed_records", result.replayed_records);
   w.EndObject();
   w.Key("words_by_kind");
   w.BeginObject();
@@ -214,22 +219,64 @@ RunResult Run(const RunConfig& base_config,
     return use_count ? count_events.Next() : time_events.Next();
   };
   int64_t n = 0;
-  while (const StreamRecord* rec = next_event()) {
-    protocol->ProcessRecord(*rec);
-    ++n;
-    if (verify) {
-      deltas.clear();
-      query->MapRecord(*rec, &deltas);
-      for (const CellUpdate& u : deltas) truth[u.index] += inv_k * u.delta;
-      if (n % config.check_every == 0 && protocol->BoundsCertified()) {
-        const double q = query->Evaluate(truth);
-        const ThresholdPair t = protocol->CurrentThresholds();
-        const double margin = std::max(0.5 * (t.hi - t.lo), 1e-12);
-        const double overshoot =
-            std::max(std::max(q - t.hi, t.lo - q), 0.0) / margin;
-        result.max_violation = std::max(result.max_violation, overshoot);
-        ++result.checks;
+  auto verify_record = [&](const StreamRecord& rec) {
+    deltas.clear();
+    query->MapRecord(rec, &deltas);
+    for (const CellUpdate& u : deltas) truth[u.index] += inv_k * u.delta;
+    if (n % config.check_every == 0 && protocol->BoundsCertified()) {
+      const double q = query->Evaluate(truth);
+      const ThresholdPair t = protocol->CurrentThresholds();
+      const double margin = std::max(0.5 * (t.hi - t.lo), 1e-12);
+      const double overshoot =
+          std::max(std::max(q - t.hi, t.lo - q), 0.0) / margin;
+      result.max_violation = std::max(result.max_violation, overshoot);
+      ++result.checks;
+    }
+  };
+
+  ShardedProtocol* sharded =
+      config.threads > 1 ? dynamic_cast<ShardedProtocol*>(protocol.get())
+                         : nullptr;
+  if (sharded != nullptr) {
+    ParallelRunnerOptions opts;
+    opts.threads = config.threads;
+    ParallelRunner par(sharded, opts);
+    std::vector<StreamRecord> chunk;
+    constexpr int64_t kChunkCap = 32768;
+    bool exhausted = false;
+    while (!exhausted) {
+      chunk.clear();
+      // Chunks never straddle a verification boundary, so every check
+      // observes the protocol exactly where the serial loop would.
+      int64_t limit = kChunkCap;
+      if (verify) {
+        limit = std::min(limit,
+                         config.check_every - (n % config.check_every));
       }
+      while (static_cast<int64_t>(chunk.size()) < limit) {
+        const StreamRecord* rec = next_event();
+        if (rec == nullptr) {
+          exhausted = true;
+          break;
+        }
+        chunk.push_back(*rec);
+      }
+      if (chunk.empty()) break;
+      par.Process(chunk.data(), static_cast<int64_t>(chunk.size()));
+      for (const StreamRecord& rec : chunk) {
+        ++n;
+        if (verify) verify_record(rec);
+      }
+    }
+    result.threads_used = par.threads();
+    result.parallel_windows = par.windows();
+    result.parallel_barriers = par.barriers();
+    result.replayed_records = par.replayed_records();
+  } else {
+    while (const StreamRecord* rec = next_event()) {
+      protocol->ProcessRecord(*rec);
+      ++n;
+      if (verify) verify_record(*rec);
     }
   }
 

@@ -70,6 +70,11 @@ struct RunConfig {
   /// many events (0 = never). Verification is O(D) per check.
   int64_t check_every = 0;
 
+  /// Worker threads for the sharded execution engine (exec/). 1 = the
+  /// serial reference loop. Results are bit-identical for every thread
+  /// count; CENTRAL has no sharded implementation and always runs serial.
+  int threads = 1;
+
   /// Route every protocol message through the serializing transport, which
   /// encodes, size-checks, decodes and verifies each one (strict wire
   /// accounting). Off: the transport follows FGM_STRICT_WIRE.
@@ -119,6 +124,12 @@ struct RunResult {
   /// Rounds force-ended at the subround cap instead of aborting.
   int64_t overflow_rounds = 0;
   double mean_full_function_fraction = 0.0;
+
+  // Parallel-runner diagnostics (zero on the serial path).
+  int threads_used = 1;
+  int64_t parallel_windows = 0;
+  int64_t parallel_barriers = 0;
+  int64_t replayed_records = 0;
 };
 
 /// Builds the query of `config` (the projection is shared and seeded from

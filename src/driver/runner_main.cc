@@ -3,8 +3,11 @@
 //   ./build/src/driver/runner --protocol=fgm --query=selfjoin
 //       [--sites=27] [--updates=400000] [--eps=0.1] [--window=14400]
 //       [--count_window=0] [--depth=5] [--width=300] [--check_every=5000]
-//       [--trace_out=trace.jsonl] [--metrics_out=metrics.json]
-//       [--strict_wire]
+//       [--threads=1] [--trace_out=trace.jsonl]
+//       [--metrics_out=metrics.json] [--strict_wire]
+//
+// --threads > 1 runs the sharded parallel engine (exec/); traffic,
+// traces and results are bit-identical to --threads=1.
 //
 // --trace_out writes the structured JSONL event trace (obs/trace.h);
 // --metrics_out writes a JSON summary of the RunResult plus the metrics
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
       flags.GetInt("width", config.query == fgm::QueryKind::kJoin ? 150
                                                                   : 300));
   config.check_every = flags.GetInt("check_every", 5000);
+  config.threads = static_cast<int>(flags.GetInt("threads", 1));
   config.trace_out = flags.GetString("trace_out", "");
   config.metrics_out = flags.GetString("metrics_out", "");
   config.strict_wire = flags.GetBool("strict_wire", false);
@@ -96,6 +100,13 @@ int main(int argc, char** argv) {
       static_cast<long long>(r.events), static_cast<long long>(r.rounds),
       static_cast<long long>(r.traffic.total_words()), r.comm_cost,
       100.0 * r.upstream_fraction, r.max_violation);
+  if (r.threads_used > 1) {
+    std::printf("parallel: threads=%d windows=%lld barriers=%lld "
+                "replayed=%lld\n",
+                r.threads_used, static_cast<long long>(r.parallel_windows),
+                static_cast<long long>(r.parallel_barriers),
+                static_cast<long long>(r.replayed_records));
+  }
   if (!config.trace_out.empty()) {
     std::printf("trace: %s\n", config.trace_out.c_str());
   }

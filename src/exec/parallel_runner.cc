@@ -1,0 +1,160 @@
+#include "exec/parallel_runner.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fgm {
+
+ParallelRunner::ParallelRunner(ShardedProtocol* protocol,
+                               ParallelRunnerOptions options)
+    : protocol_(protocol),
+      opts_(options),
+      pool_(options.threads),
+      shards_(static_cast<size_t>(protocol->shard_count())),
+      horizon_(std::max<int64_t>(options.min_horizon, 1)),
+      gap_ewma_(static_cast<double>(horizon_)) {
+  FGM_CHECK(protocol != nullptr);
+  FGM_CHECK_GE(opts_.min_horizon, 1);
+  FGM_CHECK_GE(opts_.max_horizon, opts_.min_horizon);
+}
+
+void ParallelRunner::Process(const StreamRecord* records, int64_t count) {
+  int64_t done = 0;
+  while (done < count) {
+    const int64_t window = std::min(horizon_, count - done);
+    const int64_t consumed = RunWindow(records + done, window);
+    FGM_CHECK_GE(consumed, 1);
+    done += consumed;
+    since_barrier_ += consumed;
+    if (consumed < window) {
+      // Hit a barrier: re-center the horizon on the smoothed barrier gap,
+      // so the speculation overshoot (work thrown away past the barrier)
+      // stays proportional to the useful work.
+      gap_ewma_ = 0.75 * gap_ewma_ + 0.25 * static_cast<double>(since_barrier_);
+      since_barrier_ = 0;
+      horizon_ = std::clamp(static_cast<int64_t>(gap_ewma_),
+                            opts_.min_horizon, opts_.max_horizon);
+    } else {
+      // Barrier-free window: probe longer windows geometrically.
+      horizon_ = std::min(horizon_ * 2, opts_.max_horizon);
+    }
+  }
+}
+
+int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
+  ++windows_;
+  const int64_t budget = protocol_->SpeculationBudget();
+  FGM_CHECK_GE(budget, 1);
+
+  active_.clear();
+  for (int64_t pos = 0; pos < count; ++pos) {
+    const int32_t s = records[pos].site;
+    FGM_CHECK(s >= 0 && s < static_cast<int32_t>(shards_.size()));
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    if (shard.positions.empty()) active_.push_back(s);
+    shard.positions.push_back(pos);
+  }
+  for (int s : active_) protocol_->SaveCheckpoint(s);
+
+  // Speculate: every active shard advances through its own records. A
+  // shard stops once its OWN event weight reaches the budget — the merged
+  // crossing can only be at or before that position, so every event below
+  // the barrier is guaranteed to have been gathered.
+  pool_.ParallelFor(static_cast<int>(active_.size()), [&](int j) {
+    const int s = active_[static_cast<size_t>(j)];
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    int64_t own_weight = 0;
+    for (const int64_t pos : shard.positions) {
+      double value = 0.0;
+      const int64_t w = protocol_->LocalProcess(records[pos], &value);
+      ++shard.processed;
+      if (w > 0) {
+        shard.events.push_back(
+            LocalEvent{pos, static_cast<int32_t>(s), w, value});
+        own_weight += w;
+        if (own_weight >= budget) break;
+      }
+    }
+  });
+
+  // Merge by global position (positions are unique, so the order — and
+  // everything committed from it — is deterministic).
+  merged_.clear();
+  for (int s : active_) {
+    const Shard& shard = shards_[static_cast<size_t>(s)];
+    merged_.insert(merged_.end(), shard.events.begin(), shard.events.end());
+  }
+  std::sort(merged_.begin(), merged_.end(),
+            [](const LocalEvent& a, const LocalEvent& b) {
+              return a.pos < b.pos;
+            });
+
+  // The barrier is the first position where the accumulated weight meets
+  // the budget — exactly where the serial run enters the coordinator.
+  int64_t barrier = -1;
+  size_t barrier_idx = 0;
+  int64_t cum = 0;
+  for (size_t i = 0; i < merged_.size(); ++i) {
+    cum += merged_[i].weight;
+    if (cum >= budget) {
+      barrier = merged_[i].pos;
+      barrier_idx = i;
+      break;
+    }
+  }
+
+  int64_t consumed;
+  if (barrier < 0) {
+    // No coordinator interaction in this window: all speculation commits.
+    // No shard can have stopped early (its own weight alone would have
+    // crossed the budget), so the whole window was processed.
+    for (int s : active_) {
+      const Shard& shard = shards_[static_cast<size_t>(s)];
+      FGM_CHECK_EQ(shard.processed,
+                   static_cast<int64_t>(shard.positions.size()));
+    }
+    protocol_->CommitRecords(count);
+    for (const LocalEvent& event : merged_) {
+      const bool fired = protocol_->CommitEvent(event);
+      FGM_CHECK(!fired);
+    }
+    consumed = count;
+  } else {
+    ++barriers_;
+    // Roll back every shard that ran past the barrier and replay its
+    // records up to it; replay from the bit-exact checkpoint repeats the
+    // identical operations, so the restored state matches the serial run.
+    for (int s : active_) {
+      Shard& shard = shards_[static_cast<size_t>(s)];
+      const auto prefix_end = std::upper_bound(shard.positions.begin(),
+                                               shard.positions.end(), barrier);
+      const int64_t prefix = prefix_end - shard.positions.begin();
+      if (shard.processed > prefix) {
+        protocol_->RestoreCheckpoint(s);
+        replayed_ += prefix;
+        for (int64_t i = 0; i < prefix; ++i) {
+          double value = 0.0;
+          protocol_->LocalProcess(records[shard.positions[static_cast<size_t>(i)]],
+                                  &value);
+        }
+      }
+    }
+    protocol_->CommitRecords(barrier + 1);
+    for (size_t i = 0; i <= barrier_idx; ++i) {
+      const bool fired = protocol_->CommitEvent(merged_[i]);
+      FGM_CHECK_EQ(fired, i == barrier_idx);
+    }
+    consumed = barrier + 1;
+  }
+
+  for (int s : active_) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    shard.positions.clear();
+    shard.events.clear();
+    shard.processed = 0;
+  }
+  return consumed;
+}
+
+}  // namespace fgm

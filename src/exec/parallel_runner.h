@@ -1,0 +1,81 @@
+// Speculate-and-replay parallel driver for ShardedProtocols.
+//
+// The runner advances all sites concurrently inside a speculation window,
+// merges the coordinator-visible events by global stream position, and
+// commits them serially — producing traffic statistics and event traces
+// that are bit-identical to the single-threaded run (see exec/sharded.h
+// for the contract and DESIGN.md §5d for the argument).
+//
+// The window length (speculation horizon) adapts to the observed distance
+// between coordinator barriers: long horizons amortize the per-window
+// fork/join and checkpoint cost in quiet phases, short horizons bound the
+// replayed work when barriers are dense.
+
+#ifndef FGM_EXEC_PARALLEL_RUNNER_H_
+#define FGM_EXEC_PARALLEL_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/sharded.h"
+#include "exec/thread_pool.h"
+#include "stream/record.h"
+
+namespace fgm {
+
+struct ParallelRunnerOptions {
+  /// Total worker parallelism including the calling thread.
+  int threads = 1;
+  /// Bounds for the adaptive speculation horizon (records per window).
+  int64_t min_horizon = 128;
+  int64_t max_horizon = 65536;
+};
+
+class ParallelRunner {
+ public:
+  /// `protocol` must outlive the runner.
+  ParallelRunner(ShardedProtocol* protocol, ParallelRunnerOptions options);
+
+  /// Feeds `count` records to the protocol. After the call returns the
+  /// protocol state equals the serial state after ProcessRecord on each
+  /// record in order; calls may be split at any record boundary.
+  void Process(const StreamRecord* records, int64_t count);
+
+  // Diagnostics.
+  int64_t windows() const { return windows_; }
+  int64_t barriers() const { return barriers_; }
+  int64_t replayed_records() const { return replayed_; }
+  int threads() const { return pool_.threads(); }
+
+ private:
+  /// Runs one speculation window; returns how many leading records were
+  /// committed (the whole window, or everything up to and including the
+  /// barrier record).
+  int64_t RunWindow(const StreamRecord* records, int64_t count);
+
+  struct Shard {
+    std::vector<int64_t> positions;  ///< window positions, ascending
+    std::vector<LocalEvent> events;  ///< events found while speculating
+    int64_t processed = 0;           ///< prefix of `positions` processed
+  };
+
+  ShardedProtocol* protocol_;
+  ParallelRunnerOptions opts_;
+  ThreadPool pool_;
+
+  std::vector<Shard> shards_;
+  std::vector<int> active_;          ///< shard ids with records this window
+  std::vector<LocalEvent> merged_;
+
+  int64_t horizon_;
+  double gap_ewma_;        ///< smoothed records-per-barrier estimate
+  int64_t since_barrier_ = 0;
+
+  int64_t windows_ = 0;
+  int64_t barriers_ = 0;
+  int64_t replayed_ = 0;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_EXEC_PARALLEL_RUNNER_H_

@@ -1,0 +1,81 @@
+// Sharded-execution interface of the monitoring protocols.
+//
+// Between coordinator interactions the k sites of a geometric-monitoring
+// protocol are completely independent: each one folds its own records
+// into its drift and only *sometimes* produces a coordinator-visible
+// event (an FGM counter increment, a GM safe-zone violation). A protocol
+// that implements ShardedProtocol splits its per-record work into
+//
+//   LocalProcess  — the site-local part; called concurrently, one thread
+//                   per shard (site), NEVER for the same shard from two
+//                   threads at once. Must not touch coordinator state,
+//                   the transport, or the trace.
+//   CommitEvent   — the coordinator part; called by one thread, in the
+//                   exact global stream order, and performs the message
+//                   traffic / trace emission / counter arithmetic of the
+//                   serial protocol word for word.
+//
+// plus checkpoint hooks that let the ParallelRunner speculate: sites run
+// ahead in parallel, the runner merges their events by stream position,
+// finds the first position where the accumulated event weight reaches
+// SpeculationBudget() (the barrier — the point where the serial protocol
+// would have entered the coordinator), rolls overshooting shards back to
+// their checkpoints and replays them up to the barrier. Replay from a
+// bit-exact checkpoint applies the same floating-point operations in the
+// same order, so the committed run is bit-identical to the serial one.
+
+#ifndef FGM_EXEC_SHARDED_H_
+#define FGM_EXEC_SHARDED_H_
+
+#include <cstdint>
+
+#include "stream/record.h"
+
+namespace fgm {
+
+/// One site-local coordinator-visible event produced during speculation.
+struct LocalEvent {
+  int64_t pos = 0;     ///< global position of the record within the window
+  int32_t site = 0;    ///< shard that produced the event
+  int64_t weight = 0;  ///< contribution towards SpeculationBudget()
+  double value = 0.0;  ///< protocol payload (e.g. φ(X_i) for a violation)
+};
+
+class ShardedProtocol {
+ public:
+  virtual ~ShardedProtocol() = default;
+
+  /// Number of shards (= sites); records route by StreamRecord::site.
+  virtual int shard_count() const = 0;
+
+  /// Merged event weight that triggers the next coordinator interaction,
+  /// given the CURRENT protocol state. Always >= 1. FGM: k - c + 1 counter
+  /// steps; GM: 1 (the first violation).
+  virtual int64_t SpeculationBudget() const = 0;
+
+  /// Site-local processing of one record of shard `record.site`. Returns
+  /// the event weight (0 = no event); `*value` receives the event payload.
+  /// Thread-safe across DIFFERENT shards.
+  virtual int64_t LocalProcess(const StreamRecord& record, double* value) = 0;
+
+  /// Accounts `count` records as globally processed (coordinator-side
+  /// bookkeeping such as FGM's total update counter). Called before the
+  /// corresponding CommitEvent calls, coordinator thread only.
+  virtual void CommitRecords(int64_t count) = 0;
+
+  /// Performs the coordinator side of one event, exactly as the serial
+  /// protocol would (transport traffic, traces, counters). Returns true
+  /// when the event triggered a coordinator interaction that changed site
+  /// state (poll / rebalance / round change) — every speculative result
+  /// past this event's position is then stale. Coordinator thread only.
+  virtual bool CommitEvent(const LocalEvent& event) = 0;
+
+  /// Snapshots / restores shard-local state, bit-exactly. RestoreCheckpoint
+  /// consumes the checkpoint (at most one restore per save).
+  virtual void SaveCheckpoint(int shard) = 0;
+  virtual void RestoreCheckpoint(int shard) = 0;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_EXEC_SHARDED_H_

@@ -1,0 +1,91 @@
+#include "exec/thread_pool.h"
+
+#include "util/check.h"
+
+namespace fgm {
+
+ThreadPool::ThreadPool(int threads) {
+  FGM_CHECK_GE(threads, 1);
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::RunTasks(const std::function<void(int)>& fn, int limit) {
+  int done = 0;
+  for (;;) {
+    const int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= limit) break;
+    fn(i);
+    ++done;
+  }
+  return done;
+}
+
+void ThreadPool::WorkerLoop() {
+  int64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job;
+    int limit;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock,
+                      [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      // Snapshot the job under the lock; a worker that missed a whole
+      // job (generation advanced twice) simply joins the current one.
+      seen = generation_;
+      job = job_;
+      limit = job_limit_;
+      ++draining_;
+    }
+    const int done = job != nullptr ? RunTasks(*job, limit) : 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished_ += done;
+      --draining_;
+    }
+    job_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  // A straggler from the previous job may still be inside its (empty)
+  // drain loop; publishing a new job would hand it stale work. Wait it
+  // out — by this point the previous job's indices are exhausted, so the
+  // straggler exits immediately.
+  job_done_.wait(lock, [&] { return draining_ == 0; });
+  job_ = &fn;
+  job_limit_ = n;
+  next_.store(0, std::memory_order_relaxed);
+  finished_ = 0;
+  ++generation_;
+  lock.unlock();
+  job_ready_.notify_all();
+
+  const int done = RunTasks(fn, n);
+
+  lock.lock();
+  finished_ += done;
+  // Mutex acquire/release orders every task's writes before the return.
+  job_done_.wait(lock, [&] { return finished_ >= n && draining_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace fgm

@@ -1,0 +1,66 @@
+// Fixed-size worker pool for the parallel execution engine.
+//
+// The pool runs index-based parallel-for jobs: workers (plus the calling
+// thread) pull task indices from a shared atomic cursor, so uneven task
+// costs balance dynamically. Workers BLOCK between jobs (condition
+// variable, no spinning) — on an oversubscribed or single-core host the
+// pool degrades to roughly serial execution instead of burning cycles,
+// which matters because the simulator is routinely run under `taskset`
+// and inside small CI containers.
+
+#ifndef FGM_EXEC_THREAD_POOL_H_
+#define FGM_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fgm {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread, so
+  /// the pool spawns `threads - 1` workers. threads <= 1 spawns none and
+  /// ParallelFor runs inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices dynamically
+  /// across the workers and the calling thread; returns when all n calls
+  /// have finished. Calls must not throw (the library is exception-free)
+  /// and must not re-enter ParallelFor.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Pulls indices from next_ until the job is exhausted; returns how many
+  /// tasks this thread executed.
+  int RunTasks(const std::function<void(int)>& fn, int limit);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  int job_limit_ = 0;
+  int64_t generation_ = 0;
+  bool shutdown_ = false;
+  int finished_ = 0;  // tasks completed in the current job (guarded by mu_)
+  int draining_ = 0;  // workers currently inside RunTasks (guarded by mu_)
+
+  // Lock-free task cursor — the only state touched per task.
+  std::atomic<int> next_{0};
+};
+
+}  // namespace fgm
+
+#endif  // FGM_EXEC_THREAD_POOL_H_

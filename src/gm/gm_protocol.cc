@@ -54,7 +54,9 @@ void GmProtocol::StartRound() {
   for (int i = 0; i < sites_k_; ++i) {
     transport_->ShipSafeZone(i, SafeZoneMsg{estimate_});
     Site& site = sites_[static_cast<size_t>(i)];
-    site.evaluator = safe_fn_->MakeEvaluator();
+    // Wrapped with the FGM_PARANOID cross-check when the env var is set.
+    site.evaluator =
+        MakeCheckedEvaluator(safe_fn_.get(), safe_fn_->MakeEvaluator());
     site.log.Reset();
     site.updates_since_known = 0;
     site.known = RealVector(query_->dimension());
@@ -62,36 +64,65 @@ void GmProtocol::StartRound() {
 }
 
 void GmProtocol::ProcessRecord(const StreamRecord& record) {
+  double value = 0.0;
+  const int64_t weight = LocalProcess(record, &value);
+  if (weight > 0) {
+    CommitEvent(LocalEvent{0, record.site, weight, value});
+  }
+}
+
+int64_t GmProtocol::LocalProcess(const StreamRecord& record, double* value) {
   FGM_CHECK(record.site >= 0 && record.site < sites_k_);
-  delta_scratch_.clear();
+  Site& site = sites_[static_cast<size_t>(record.site)];
+  site.scratch.clear();
   {
     ScopedTimer timed(sketch_timer_);
-    query_->MapRecord(record, &delta_scratch_);
+    query_->MapRecord(record, &site.scratch);
   }
-  Site& site = sites_[static_cast<size_t>(record.site)];
   site.log.Record(record, query_->dimension());
-  double value;
+  double v;
   {
     ScopedTimer timed(safe_fn_timer_);
-    for (const CellUpdate& u : delta_scratch_) {
+    for (const CellUpdate& u : site.scratch) {
       site.evaluator->ApplyDelta(u.index, u.delta);
     }
-    value = site.evaluator->Value();
+    v = site.evaluator->Value();
   }
   ++site.updates_since_known;
-  if (value > 0.0) {
-    ++violations_;
-    if (trace_ != nullptr) {
-      TraceEvent e;
-      e.kind = TraceEventKind::kThresholdCross;
-      e.round = full_syncs_;
-      e.site = record.site;
-      e.value = value;
-      e.label = "local-violation";
-      trace_->Emit(e);
-    }
-    HandleViolation(record.site);
+  if (value != nullptr) *value = v;
+  return v > 0.0 ? 1 : 0;
+}
+
+bool GmProtocol::CommitEvent(const LocalEvent& event) {
+  ++violations_;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kThresholdCross;
+    e.round = full_syncs_;
+    e.site = event.site;
+    e.value = event.value;
+    e.label = "local-violation";
+    trace_->Emit(e);
   }
+  HandleViolation(event.site);
+  return true;
+}
+
+void GmProtocol::SaveCheckpoint(int shard) {
+  Site& site = sites_[static_cast<size_t>(shard)];
+  site.saved_evaluator = site.evaluator->Clone();
+  site.saved_mark = site.log.MarkPosition();
+  site.saved_updates_since_known = site.updates_since_known;
+  site.checkpoint_valid = true;
+}
+
+void GmProtocol::RestoreCheckpoint(int shard) {
+  Site& site = sites_[static_cast<size_t>(shard)];
+  FGM_CHECK(site.checkpoint_valid);
+  site.evaluator = std::move(site.saved_evaluator);
+  site.log.Rewind(site.saved_mark);
+  site.updates_since_known = site.saved_updates_since_known;
+  site.checkpoint_valid = false;
 }
 
 const RealVector& GmProtocol::CollectDrift(int site_id) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/sharded.h"
 #include "net/network.h"
 #include "net/protocol.h"
 #include "net/transport.h"
@@ -55,7 +56,7 @@ struct GmConfig {
   MetricsRegistry* metrics = nullptr;
 };
 
-class GmProtocol : public MonitoringProtocol {
+class GmProtocol : public MonitoringProtocol, public ShardedProtocol {
  public:
   GmProtocol(const ContinuousQuery* query, int num_sites, GmConfig config);
 
@@ -75,6 +76,16 @@ class GmProtocol : public MonitoringProtocol {
   /// The transport carrying this protocol's messages (testing hook).
   const Transport& transport() const { return *transport_; }
 
+  // ShardedProtocol — one shard per site. Any single local violation
+  // triggers coordinator interaction, so the speculation budget is 1.
+  int shard_count() const override { return sites_k_; }
+  int64_t SpeculationBudget() const override { return 1; }
+  int64_t LocalProcess(const StreamRecord& record, double* value) override;
+  void CommitRecords(int64_t count) override { (void)count; }
+  bool CommitEvent(const LocalEvent& event) override;
+  void SaveCheckpoint(int shard) override;
+  void RestoreCheckpoint(int shard) override;
+
  private:
   struct Site {
     std::unique_ptr<DriftEvaluator> evaluator;
@@ -87,6 +98,13 @@ class GmProtocol : public MonitoringProtocol {
     /// reproduces the site's drift bit-exactly (GM drifts are cumulative,
     /// unlike FGM's flush-and-reset).
     RealVector known;
+    /// Per-site sketch-delta scratch (safe for concurrent LocalProcess).
+    std::vector<CellUpdate> scratch;
+    /// Speculation checkpoint (`known` only moves at commits; not saved).
+    std::unique_ptr<DriftEvaluator> saved_evaluator;
+    RawUpdateLog::Mark saved_mark;
+    int64_t saved_updates_since_known = 0;
+    bool checkpoint_valid = false;
   };
 
   void StartRound();
@@ -116,8 +134,6 @@ class GmProtocol : public MonitoringProtocol {
   int64_t full_syncs_ = 0;
   int64_t violations_ = 0;
   int64_t partial_rebalances_ = 0;
-
-  std::vector<CellUpdate> delta_scratch_;
 };
 
 /// Sets an evaluator's drift to an arbitrary vector (used when the

@@ -20,32 +20,38 @@ typename Map::mapped_type::element_type* GetOrCreate(Map* map,
 }  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetOrCreate(&counters_, name,
                      [] { return std::make_unique<Counter>(); });
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetOrCreate(&gauges_, name, [] { return std::make_unique<Gauge>(); });
 }
 
 RunningStats* MetricsRegistry::GetStats(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetOrCreate(&stats_, name,
                      [] { return std::make_unique<RunningStats>(); });
 }
 
 CountHistogram* MetricsRegistry::GetHistogram(const std::string& name,
                                               int max_value) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetOrCreate(&histograms_, name, [max_value] {
     return std::make_unique<CountHistogram>(max_value);
   });
 }
 
 WallTimer* MetricsRegistry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetOrCreate(&timers_, name,
                      [] { return std::make_unique<WallTimer>(); });
 }
 
 void MetricsRegistry::WriteJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
   w->BeginObject();
 
   w->Key("counters");

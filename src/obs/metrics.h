@@ -9,10 +9,12 @@
 #ifndef FGM_OBS_METRICS_H_
 #define FGM_OBS_METRICS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "obs/json.h"
@@ -20,39 +22,47 @@
 
 namespace fgm {
 
+// Counters, gauges and timers are updated from worker threads when the
+// parallel runner is active, so their mutators are lock-free atomics
+// (relaxed: instruments are statistical accumulators, not synchronization
+// points). The registry itself is mutex-guarded — Get* runs at
+// construction time and WriteJson after the run, never on the hot path.
+
 /// Monotone event count.
 class Counter {
  public:
-  void Add(int64_t n = 1) { value_ += n; }
-  int64_t value() const { return value_; }
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Last-write-wins scalar.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Accumulated wall time over many timed sections.
 class WallTimer {
  public:
   void AddSeconds(double s) {
-    total_seconds_ += s;
-    ++count_;
+    total_seconds_.fetch_add(s, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
   }
-  double total_seconds() const { return total_seconds_; }
-  int64_t count() const { return count_; }
+  double total_seconds() const {
+    return total_seconds_.load(std::memory_order_relaxed);
+  }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
 
  private:
-  double total_seconds_ = 0.0;
-  int64_t count_ = 0;
+  std::atomic<double> total_seconds_{0.0};
+  std::atomic<int64_t> count_{0};
 };
 
 /// RAII section timer; a null timer costs one branch and never touches
@@ -95,6 +105,7 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<RunningStats>> stats_;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,22 +66,30 @@ struct TraceEvent {
 };
 
 /// Event consumer. Emitters call Emit(), which stamps the sequence number
-/// and forwards to the implementation.
+/// and forwards to the implementation. Emit is serialized by a mutex so
+/// concurrent emitters (parallel runner worker threads) cannot tear the
+/// sequence numbering or the sink's buffer; the disabled path never
+/// reaches Emit and stays one null-pointer test.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
 
   void Emit(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu_);
     event.seq = next_seq_++;
     OnEvent(event);
   }
 
-  int64_t events() const { return next_seq_; }
+  int64_t events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_;
+  }
 
  protected:
   virtual void OnEvent(const TraceEvent& event) = 0;
 
  private:
+  mutable std::mutex mu_;
   int64_t next_seq_ = 0;
 };
 

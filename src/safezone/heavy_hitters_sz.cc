@@ -69,6 +69,10 @@ class HeavyHitterEvaluator : public VectorDriftEvaluator {
     }
   }
 
+  std::unique_ptr<DriftEvaluator> Clone() const override {
+    return std::make_unique<HeavyHitterEvaluator>(*this);
+  }
+
  private:
   struct Entry {
     double value;

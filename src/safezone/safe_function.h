@@ -53,6 +53,12 @@ class DriftEvaluator {
 
   /// The current drift vector.
   virtual const RealVector& drift() const = 0;
+
+  /// Deep copy of the complete evaluator state (drift plus every derived
+  /// incremental quantity), preserving the exact floating-point bits. The
+  /// parallel execution engine checkpoints sites with Clone() and replays
+  /// from the copy, which is what makes speculative execution bit-exact.
+  virtual std::unique_ptr<DriftEvaluator> Clone() const = 0;
 };
 
 /// Immutable description of a safe function for a fixed admissible region
@@ -102,10 +108,50 @@ class NaiveDriftEvaluator : public VectorDriftEvaluator {
   double Value() const override { return fn_->Eval(x_); }
   double ValueAtScale(double lambda) const override;
   void Reset() override { x_.SetZero(); }
+  std::unique_ptr<DriftEvaluator> Clone() const override {
+    return std::make_unique<NaiveDriftEvaluator>(*this);
+  }
 
  private:
   const SafeFunction* fn_;  // not owned
 };
+
+/// Wraps an incremental evaluator and cross-checks its Value() against the
+/// safe function's reference Eval(drift) every `period` deltas, catching
+/// incremental-maintenance drift (lost updates, accumulated cancellation)
+/// at the point where it happens instead of at the end of a run.
+class ParanoidDriftEvaluator : public DriftEvaluator {
+ public:
+  /// `fn` must outlive the evaluator; `period` >= 1.
+  ParanoidDriftEvaluator(const SafeFunction* fn,
+                         std::unique_ptr<DriftEvaluator> inner,
+                         int64_t period);
+
+  void ApplyDelta(size_t index, double delta) override;
+  double Value() const override { return inner_->Value(); }
+  double ValueAtScale(double lambda) const override {
+    return inner_->ValueAtScale(lambda);
+  }
+  void Reset() override;
+  const RealVector& drift() const override { return inner_->drift(); }
+  std::unique_ptr<DriftEvaluator> Clone() const override;
+
+ private:
+  void CrossCheck() const;
+
+  const SafeFunction* fn_;  // not owned
+  std::unique_ptr<DriftEvaluator> inner_;
+  int64_t period_;
+  int64_t since_check_ = 0;
+};
+
+/// Wraps `inner` in a ParanoidDriftEvaluator when the FGM_PARANOID
+/// environment variable is set (its value is the check period N; values
+/// that do not parse to a positive integer default to 64). Unset or
+/// empty: returns `inner` unchanged. The protocols route every site
+/// evaluator through this hook.
+std::unique_ptr<DriftEvaluator> MakeCheckedEvaluator(
+    const SafeFunction* fn, std::unique_ptr<DriftEvaluator> inner);
 
 /// Reference implementation of λφ(x/λ) by explicit scaling; O(D).
 double PerspectiveEval(const SafeFunction& fn, const RealVector& x,

@@ -22,6 +22,7 @@ AgmsProjection::AgmsProjection(int depth, int width, uint64_t seed)
 
 void AgmsProjection::Map(uint64_t key, double weight,
                          std::vector<CellUpdate>* out) const {
+  out->reserve(out->size() + static_cast<size_t>(depth_));
   for (int r = 0; r < depth_; ++r) {
     const uint32_t b = Bucket(r, key);
     const int s = Sign(r, key);
@@ -37,6 +38,20 @@ void FastAgms::Update(uint64_t key, double weight) {
   const AgmsProjection& p = *projection_;
   for (int r = 0; r < p.depth(); ++r) {
     state_[p.CellIndex(r, p.Bucket(r, key))] += p.Sign(r, key) * weight;
+  }
+}
+
+void FastAgms::UpdateBatch(const uint64_t* keys, const double* weights,
+                           size_t count) {
+  const AgmsProjection& p = *projection_;
+  const int d = p.depth();
+  for (int r = 0; r < d; ++r) {
+    // A cell is owned by exactly one row, so processing the batch one row
+    // at a time preserves the per-cell addition order of Update().
+    for (size_t i = 0; i < count; ++i) {
+      state_[p.CellIndex(r, p.Bucket(r, keys[i]))] +=
+          p.Sign(r, keys[i]) * weights[i];
+    }
   }
 }
 

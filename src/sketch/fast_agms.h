@@ -79,6 +79,13 @@ class FastAgms {
   /// Applies one stream update.
   void Update(uint64_t key, double weight);
 
+  /// Applies `count` stream updates in one pass, row-major: all rows walk
+  /// the batch in record order, so each cell sees exactly the additions
+  /// it would see under per-record Update() in the same order — the
+  /// result is bit-identical. The row-major loop keeps one row's hash
+  /// family hot and touches the state vector sequentially.
+  void UpdateBatch(const uint64_t* keys, const double* weights, size_t count);
+
   /// Self-join (F2) estimate: median over rows of the row squared norm.
   double SelfJoinEstimate() const;
 

@@ -1,0 +1,269 @@
+// Determinism suite for the sharded parallel execution engine (exec/).
+//
+// The contract under test: for every protocol with a sharded
+// implementation and every thread count, the parallel run is
+// bit-identical to the serial run — same traffic words and messages per
+// message kind, same rounds/subrounds/rebalances, same final estimate,
+// and the same JSONL trace line for line. `ctest -L parallel` runs this
+// suite; a -DFGM_SANITIZE=thread build runs it under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "driver/runner.h"
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
+#include "safezone/ball.h"
+#include "safezone/safe_function.h"
+#include "sketch/fast_agms.h"
+#include "stream/worldcup.h"
+#include "util/rng.h"
+
+namespace fgm {
+namespace {
+
+// ---------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, [&](int i) { hits[static_cast<size_t>(i)]++; });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  int64_t expected = 0;
+  for (int job = 0; job < 50; ++job) {
+    const int n = 1 + (job * 7) % 97;
+    pool.ParallelFor(n, [&](int i) { sum += i; });
+    expected += static_cast<int64_t>(n) * (n - 1) / 2;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  int count = 0;
+  pool.ParallelFor(10, [&](int) { ++count; });  // non-atomic is fine inline
+  EXPECT_EQ(count, 10);
+}
+
+// ---------------------------------------------------------------------
+// Batched sketch ingestion
+
+TEST(FastAgms, UpdateBatchBitIdenticalToSerialUpdates) {
+  auto projection = std::make_shared<const AgmsProjection>(5, 64, 0xBEEF);
+  FastAgms serial(projection);
+  FastAgms batched(projection);
+
+  Xoshiro256ss rng(42);
+  std::vector<uint64_t> keys;
+  std::vector<double> weights;
+  for (int i = 0; i < 4096; ++i) {
+    keys.push_back(rng.NextBounded(777));
+    weights.push_back(static_cast<double>(rng.NextBounded(13)) - 6.0);
+  }
+  for (size_t i = 0; i < keys.size(); ++i) serial.Update(keys[i], weights[i]);
+  batched.UpdateBatch(keys.data(), weights.data(), keys.size());
+
+  for (size_t i = 0; i < serial.state().dim(); ++i) {
+    EXPECT_EQ(serial.state()[i], batched.state()[i]) << "cell " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Incremental evaluation cross-check (FGM_PARANOID)
+
+TEST(ParanoidDriftEvaluator, AgreesWithReferenceOnCorrectInner) {
+  RealVector center(8);
+  center[0] = 3.0;
+  BallSafeFunction fn(center, 10.0);
+  ParanoidDriftEvaluator eval(&fn, fn.MakeEvaluator(), /*period=*/1);
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 200; ++i) {
+    // Every ApplyDelta cross-checks (period 1); divergence would abort.
+    eval.ApplyDelta(rng.NextBounded(8),
+                    static_cast<double>(rng.NextBounded(9)) - 4.0);
+  }
+  EXPECT_NEAR(eval.Value(), fn.Eval(eval.drift()), 1e-9);
+}
+
+// An evaluator whose incremental value is wrong on purpose.
+class BrokenEvaluator : public VectorDriftEvaluator {
+ public:
+  explicit BrokenEvaluator(size_t dim) : VectorDriftEvaluator(dim) {}
+  void ApplyDelta(size_t index, double delta) override {
+    x_[index] += delta;
+  }
+  double Value() const override { return 1e9; }  // nowhere near φ(x)
+  double ValueAtScale(double) const override { return 1e9; }
+  void Reset() override { x_.SetZero(); }
+  std::unique_ptr<DriftEvaluator> Clone() const override {
+    return std::make_unique<BrokenEvaluator>(*this);
+  }
+};
+
+TEST(ParanoidDriftEvaluatorDeathTest, AbortsOnDivergedInner) {
+  RealVector center(4);
+  center[0] = 1.0;
+  BallSafeFunction fn(center, 10.0);
+  ParanoidDriftEvaluator eval(&fn, std::make_unique<BrokenEvaluator>(4),
+                              /*period=*/1);
+  EXPECT_DEATH(eval.ApplyDelta(0, 1.0), "FGM_PARANOID");
+}
+
+TEST(MakeCheckedEvaluator, EnvVariableTogglesTheWrapper) {
+  RealVector center(4);
+  center[0] = 1.0;
+  BallSafeFunction fn(center, 10.0);
+
+  unsetenv("FGM_PARANOID");
+  auto inner = fn.MakeEvaluator();
+  DriftEvaluator* raw = inner.get();
+  auto out = MakeCheckedEvaluator(&fn, std::move(inner));
+  EXPECT_EQ(out.get(), raw);  // unset: pass-through
+
+  setenv("FGM_PARANOID", "8", 1);
+  auto wrapped = MakeCheckedEvaluator(&fn, fn.MakeEvaluator());
+  EXPECT_NE(dynamic_cast<ParanoidDriftEvaluator*>(wrapped.get()), nullptr);
+  unsetenv("FGM_PARANOID");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end determinism: parallel == serial, bit for bit.
+
+struct RunOutput {
+  RunResult result;
+  std::vector<std::string> trace_lines;
+};
+
+RunOutput RunOnce(ProtocolKind protocol, QueryKind query, int threads) {
+  RunConfig config;
+  config.protocol = protocol;
+  config.query = query;
+  config.sites = 5;
+  config.depth = 5;
+  config.width = 60;
+  config.check_every = 5000;
+  config.threads = threads;
+  MemoryTraceSink sink;
+  config.trace = &sink;
+
+  WorldCupConfig wc;
+  wc.sites = config.sites;
+  wc.total_updates = 30000;
+  const std::vector<StreamRecord> trace = GenerateWorldCupTrace(wc);
+
+  RunOutput out;
+  out.result = Run(config, trace);
+  out.trace_lines.reserve(sink.events_log().size());
+  for (const TraceEvent& e : sink.events_log()) {
+    out.trace_lines.push_back(JsonlTraceSink::EventJson(e));
+  }
+  return out;
+}
+
+void ExpectIdentical(const RunOutput& serial, const RunOutput& parallel,
+                     const std::string& what) {
+  SCOPED_TRACE(what);
+  const TrafficStats& a = serial.result.traffic;
+  const TrafficStats& b = parallel.result.traffic;
+  EXPECT_EQ(a.total_words(), b.total_words());
+  EXPECT_EQ(a.upstream_words, b.upstream_words);
+  EXPECT_EQ(a.downstream_words, b.downstream_words);
+  EXPECT_EQ(a.upstream_messages, b.upstream_messages);
+  EXPECT_EQ(a.downstream_messages, b.downstream_messages);
+  for (size_t i = 0; i < a.words_by_kind.size(); ++i) {
+    EXPECT_EQ(a.words_by_kind[i], b.words_by_kind[i]) << "msg kind " << i;
+  }
+  EXPECT_EQ(serial.result.rounds, parallel.result.rounds);
+  EXPECT_EQ(serial.result.subrounds, parallel.result.subrounds);
+  EXPECT_EQ(serial.result.rebalances, parallel.result.rebalances);
+  EXPECT_EQ(serial.result.events, parallel.result.events);
+  EXPECT_EQ(serial.result.checks, parallel.result.checks);
+  // Bit-exact floating-point agreement, not approximate.
+  EXPECT_EQ(serial.result.max_violation, parallel.result.max_violation);
+  EXPECT_EQ(serial.result.final_estimate, parallel.result.final_estimate);
+
+  ASSERT_EQ(serial.trace_lines.size(), parallel.trace_lines.size());
+  for (size_t i = 0; i < serial.trace_lines.size(); ++i) {
+    ASSERT_EQ(serial.trace_lines[i], parallel.trace_lines[i])
+        << "trace line " << i;
+  }
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, QueryKind>> {};
+
+TEST_P(ParallelDeterminism, BitIdenticalAcrossThreadCounts) {
+  const auto [protocol, query] = GetParam();
+  const RunOutput serial = RunOnce(protocol, query, 1);
+  EXPECT_GT(serial.result.events, 0);
+  for (int threads : {2, 8}) {
+    const RunOutput parallel = RunOnce(protocol, query, threads);
+    EXPECT_EQ(parallel.result.threads_used, threads);
+    EXPECT_GT(parallel.result.parallel_windows, 0);
+    ExpectIdentical(serial, parallel,
+                    "threads=" + std::to_string(threads));
+  }
+}
+
+using ParallelParam = std::tuple<ProtocolKind, QueryKind>;
+
+std::string ParallelParamName(const ::testing::TestParamInfo<ParallelParam>& info) {
+  std::string name = ProtocolKindName(std::get<0>(info.param));
+  for (char& c : name) {
+    if (c == '/' || c == '-') c = '_';
+  }
+  name += std::get<1>(info.param) == QueryKind::kSelfJoin ? "_Q1" : "_Q2";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, ParallelDeterminism,
+    ::testing::Values(
+        std::make_tuple(ProtocolKind::kFgm, QueryKind::kSelfJoin),
+        std::make_tuple(ProtocolKind::kFgm, QueryKind::kJoin),
+        std::make_tuple(ProtocolKind::kFgmOpt, QueryKind::kSelfJoin),
+        std::make_tuple(ProtocolKind::kGm, QueryKind::kSelfJoin),
+        std::make_tuple(ProtocolKind::kGm, QueryKind::kJoin)),
+    ParallelParamName);
+
+TEST(ParallelDeterminism, CentralFallsBackToSerial) {
+  // CENTRAL has no sharded implementation; --threads must degrade to the
+  // serial loop, not crash or change results.
+  const RunOutput serial = RunOnce(ProtocolKind::kCentral,
+                                   QueryKind::kSelfJoin, 1);
+  const RunOutput parallel = RunOnce(ProtocolKind::kCentral,
+                                     QueryKind::kSelfJoin, 8);
+  EXPECT_EQ(parallel.result.threads_used, 1);
+  EXPECT_EQ(parallel.result.parallel_windows, 0);
+  ExpectIdentical(serial, parallel, "central");
+}
+
+TEST(ParallelDeterminism, ParanoidModeHoldsUnderParallelExecution) {
+  // FGM_PARANOID cross-checks every site evaluator during a parallel run;
+  // an incremental-maintenance bug in checkpoint/replay would abort.
+  setenv("FGM_PARANOID", "256", 1);
+  const RunOutput serial = RunOnce(ProtocolKind::kFgm, QueryKind::kSelfJoin, 1);
+  const RunOutput parallel =
+      RunOnce(ProtocolKind::kFgm, QueryKind::kSelfJoin, 4);
+  unsetenv("FGM_PARANOID");
+  ExpectIdentical(serial, parallel, "paranoid");
+}
+
+}  // namespace
+}  // namespace fgm
