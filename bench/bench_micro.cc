@@ -1,11 +1,14 @@
 // Micro benchmarks (google-benchmark): throughput of the data-path
 // building blocks — sketch updates, incremental safe-function evaluation,
-// and end-to-end protocol record processing. After the google-benchmark
-// suite, main() runs the serial-vs-parallel speedup grid and exports it
-// as BENCH_parallel_speedup.json (see bench_common.h / FGM_BENCH_OUT).
+// and end-to-end protocol record processing. Every google-benchmark
+// result is also exported as BENCH_micro.json (per-benchmark ns/op), and
+// main() then runs the serial-vs-parallel speedup grid and exports it as
+// BENCH_parallel_speedup.json (see bench_common.h / FGM_BENCH_OUT).
+// tools/bench_gate diffs either report against a committed baseline.
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "core/fgm_protocol.h"
 #include "driver/runner.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "query/query.h"
 #include "safezone/join_sz.h"
@@ -142,19 +146,22 @@ void BM_FgmProcessRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_FgmProcessRecord)->Arg(4)->Arg(27);
 
-// The same loop with observability enabled: a counting trace sink and a
-// metrics registry installed through FgmConfig. BM_FgmProcessRecord above
-// runs with both null, so its hooks cost one pointer test each; the delta
-// between the two benchmarks is the full price of enabled tracing (event
-// construction, virtual dispatch, timer reads).
+// The same loop with observability enabled: a counting trace sink, a
+// metrics registry and a run-health time series installed through
+// FgmConfig. BM_FgmProcessRecord above runs with all three null, so its
+// hooks cost one pointer test each; the delta between the two benchmarks
+// is the full price of enabled observability (event construction, virtual
+// dispatch, timer reads, round-boundary sampling).
 void BM_FgmProcessRecordTraced(benchmark::State& state) {
   auto proj = Projection(5, 500);
   SelfJoinQuery query(proj, 0.1);
   CountingTraceSink sink;
   MetricsRegistry metrics;
+  TimeSeries timeseries(1024);
   FgmConfig config;
   config.trace = &sink;
   config.metrics = &metrics;
+  config.timeseries = &timeseries;
   const int k = static_cast<int>(state.range(0));
   FgmProtocol protocol(&query, k, config);
   Xoshiro256ss rng(9);
@@ -218,14 +225,63 @@ void RunParallelSpeedupGrid() {
   }
 }
 
+// Console reporter that additionally lands every per-iteration result in
+// a standalone JsonReport (BENCH_micro.json): one run per benchmark with
+// ns_per_op / cpu_ns_per_op / items_per_second. All three are time-like,
+// so bench_gate skips them unless given --time_tol; the gate still fails
+// structurally when a benchmark disappears from the suite.
+class MicroJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit MicroJsonReporter(bench::JsonReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      double items = 0.0;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) items = it->second;
+      const double ns = run.GetAdjustedRealTime();
+      ns_per_op_[run.benchmark_name()] = ns;
+      report_->AddEntry(run.benchmark_name(),
+                        {{"ns_per_op", ns},
+                         {"cpu_ns_per_op", run.GetAdjustedCPUTime()},
+                         {"items_per_second", items}});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  double NsPerOp(const std::string& name) const {
+    const auto it = ns_per_op_.find(name);
+    return it != ns_per_op_.end() ? it->second : 0.0;
+  }
+
+ private:
+  bench::JsonReport* report_;
+  std::map<std::string, double> ns_per_op_;
+};
+
 }  // namespace
 }  // namespace fgm
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  fgm::bench::JsonReport micro;
+  micro.Init("micro");
+  fgm::MicroJsonReporter reporter(&micro);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  // Disabled-path sanity number: the observability hooks' cost when every
+  // sink is null, relative to the same loop with them installed.
+  const double off = reporter.NsPerOp("BM_FgmProcessRecord/27");
+  const double on = reporter.NsPerOp("BM_FgmProcessRecordTraced/27");
+  if (off > 0.0 && on > 0.0) {
+    micro.AddScalar("obs_enabled_overhead_ns_per_op", on - off);
+    std::printf("observability overhead (k=27): %.1f ns/op disabled-path "
+                "baseline, %.1f ns/op enabled (+%.1f)\n",
+                off, on, on - off);
+  }
+  micro.Write();
   fgm::RunParallelSpeedupGrid();
   return 0;
 }

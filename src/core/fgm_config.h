@@ -10,6 +10,7 @@
 namespace fgm {
 
 class MetricsRegistry;
+class TimeSeries;
 class TraceSink;
 class WallTimer;
 
@@ -83,6 +84,12 @@ struct FgmConfig {
   /// Metrics registry (obs/metrics.h) receiving the per-phase wall
   /// timers. Non-owning; nullptr disables.
   MetricsRegistry* metrics = nullptr;
+
+  /// Run-health time series (obs/timeseries.h): one RunSnapshot per
+  /// completed round (words by kind, ψ/θ/λ, plan audit, site skew).
+  /// Non-owning; nullptr disables — sampling happens only at round
+  /// boundaries, never on the record path.
+  TimeSeries* timeseries = nullptr;
 };
 
 }  // namespace fgm

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -31,11 +32,16 @@ FgmProtocol::FgmProtocol(const ContinuousQuery* query, int num_sites,
   plan_.assign(static_cast<size_t>(num_sites), 1);
   // Observability hooks must be live before the first round is traced.
   trace_ = config_.trace;
+  timeseries_ = config_.timeseries;
   if (trace_ != nullptr) transport_->set_trace(trace_);
   if (config_.metrics != nullptr) {
     transport_->set_metrics(config_.metrics);
     sketch_timer_ = config_.metrics->GetTimer("sketch_update");
     safe_fn_timer_ = config_.metrics->GetTimer("safe_fn_eval");
+    if (config_.optimizer) {
+      plan_gain_abs_err_ = config_.metrics->GetStats("plan_gain_abs_err");
+      plan_gain_rel_err_ = config_.metrics->GetStats("plan_gain_rel_err");
+    }
   }
   StartRound();
   // The very first round has no previous round to count against; its
@@ -85,6 +91,12 @@ bool FgmProtocol::CommitEvent(const LocalEvent& event) {
 }
 
 void FgmProtocol::StartRound() {
+  // Observe the finished round before any of its state is reset: plan
+  // outcome vs prediction, and the round's time-series sample. The words
+  // booked here fall strictly between this round's RoundStart event and
+  // its PlanOutcome, which is what lets the replay checker re-sum them.
+  if (rounds_ > 0) EmitRoundObservability();
+
   // Book the ending round's measured cost rate under its plan class
   // (feedback guard input), then snapshot for the new round.
   if (rounds_ > 0 && config_.optimizer) {
@@ -106,6 +118,7 @@ void FgmProtocol::StartRound() {
     }
   }
   round_start_words_ = transport_->stats().total_words();
+  round_start_words_by_kind_ = transport_->stats().words_by_kind;
   round_start_updates_ = total_updates_;
 
   ++rounds_;
@@ -136,6 +149,7 @@ void FgmProtocol::StartRound() {
   // fixed per-round overhead covers the expected subround traffic
   // ((3k+1) words per subround, ~log2(1/ε_ψ) subrounds) plus the
   // end-of-round poll and flush acknowledgements.
+  const std::vector<SiteRates>* rates_used = nullptr;
   if (config_.optimizer && have_rates_) {
     const double k = static_cast<double>(sites_k_);
     const double overhead =
@@ -145,10 +159,14 @@ void FgmProtocol::StartRound() {
             ? (scratch_rates_ =
                    ExtrapolateRates(older_rates_, prev_rates_))
             : prev_rates_;
-    plan_ = OptimizeRoundPlan(rates,
-                              static_cast<int64_t>(query_->dimension()),
-                              overhead)
-                .full_function;
+    rates_used = &rates;
+    const RoundPlan round_plan = OptimizeRoundPlan(
+        rates, static_cast<int64_t>(query_->dimension()), overhead);
+    plan_ = round_plan.full_function;
+    plan_predicted_ = true;
+    plan_pred_len_ = round_plan.predicted_length;
+    plan_pred_gain_ = round_plan.predicted_gain;
+    plan_pred_rate_ = round_plan.predicted_rate;
     // Feedback guard: if mostly-cheap rounds have measurably cost more
     // per update than mostly-full rounds, override a cheap plan (§4.2.5's
     // "fooled optimizer" failure mode). Probe rounds pass unguarded.
@@ -163,10 +181,48 @@ void FgmProtocol::StartRound() {
               config_.feedback_margin * class_cost_ewma_[0]) {
         plan_.assign(static_cast<size_t>(sites_k_), 1);
         ++cheap_overrides_;
+        // The executed plan is no longer the one the model priced; its
+        // prediction would audit a round that never ran.
+        plan_predicted_ = false;
       }
     }
   } else {
     plan_.assign(static_cast<size_t>(sites_k_), 1);
+    plan_predicted_ = false;
+  }
+  if (!plan_predicted_) {
+    plan_pred_len_ = 0.0;
+    plan_pred_gain_ = 0.0;
+    plan_pred_rate_ = 0.0;
+  }
+
+  // Plan audit: what FGM/O decided and why, before the round's traffic.
+  if (trace_ != nullptr && config_.optimizer) {
+    int64_t full_sites = 0;
+    for (uint8_t d : plan_) full_sites += d;
+    TraceEvent e;
+    e.kind = TraceEventKind::kPlanChosen;
+    e.round = rounds_;
+    e.counter = full_sites;
+    e.k = sites_k_;
+    e.pred_len = plan_pred_len_;
+    e.pred_gain = plan_pred_gain_;
+    e.pred_rate = plan_pred_rate_;
+    trace_->Emit(e);
+    if (rates_used != nullptr) {
+      for (int i = 0; i < sites_k_; ++i) {
+        const SiteRates& r = (*rates_used)[static_cast<size_t>(i)];
+        TraceEvent s;
+        s.kind = TraceEventKind::kPlanSite;
+        s.round = rounds_;
+        s.site = i;
+        s.counter = plan_[static_cast<size_t>(i)];
+        s.alpha = r.alpha;
+        s.beta = r.beta;
+        s.gamma = r.gamma;
+        trace_->Emit(s);
+      }
+    }
   }
 
   for (int i = 0; i < sites_k_; ++i) {
@@ -195,10 +251,80 @@ void FgmProtocol::StartRound() {
   StartSubround(static_cast<double>(sites_k_) * phi_zero_);
 }
 
+void FgmProtocol::EmitRoundObservability() {
+  if (trace_ == nullptr && timeseries_ == nullptr &&
+      plan_gain_abs_err_ == nullptr) {
+    return;
+  }
+  const TrafficStats& t = transport_->stats();
+  const int64_t round_words = t.total_words() - round_start_words_;
+  const int64_t round_updates = total_updates_ - round_start_updates_;
+  // Gain is measured against the centralizing baseline's one word per
+  // update, the same normalization the optimizer's g(d) uses.
+  const double actual_gain =
+      static_cast<double>(round_updates) - static_cast<double>(round_words);
+  if (trace_ != nullptr && config_.optimizer) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kPlanOutcome;
+    e.round = rounds_;
+    e.count = round_updates;
+    e.words = round_words;
+    e.pred_gain = plan_pred_gain_;
+    e.actual_gain = actual_gain;
+    trace_->Emit(e);
+  }
+  if (plan_gain_abs_err_ != nullptr && plan_predicted_) {
+    const double err = std::fabs(plan_pred_gain_ - actual_gain);
+    plan_gain_abs_err_->Add(err);
+    plan_gain_rel_err_->Add(err /
+                            std::max(std::fabs(actual_gain), 1.0));
+  }
+  if (timeseries_ != nullptr) {
+    static_assert(kSnapshotMsgKinds == static_cast<int>(MsgKind::kKindCount),
+                  "RunSnapshot's kind slots must cover every MsgKind");
+    RunSnapshot s;
+    s.kind = "round";
+    s.records = total_updates_;
+    s.round = rounds_;
+    s.subrounds = subrounds_this_round_;
+    s.total_subrounds = subrounds_;
+    s.psi = last_psi_;
+    s.theta = last_theta_;
+    s.lambda = lambda_;
+    s.total_words = t.total_words();
+    s.round_words = round_words;
+    for (size_t i = 0; i < s.words_by_kind.size(); ++i) {
+      s.words_by_kind[i] = t.words_by_kind[i];
+      s.round_words_by_kind[i] =
+          t.words_by_kind[i] - round_start_words_by_kind_[i];
+    }
+    for (uint8_t d : plan_) s.plan_full_sites += d;
+    s.pred_gain = plan_pred_gain_;
+    s.actual_gain = actual_gain;
+    int64_t updates_sum = 0;
+    for (int i = 0; i < sites_k_; ++i) {
+      const int64_t u = sites_[static_cast<size_t>(i)].updates_in_round();
+      updates_sum += u;
+      s.site_updates_max = std::max(s.site_updates_max, u);
+      const double norm = round_drift_[static_cast<size_t>(i)].Norm();
+      if (norm > s.drift_norm_max) {
+        s.drift_norm_max = norm;
+        s.hot_site = i;
+      }
+      s.drift_norm_mean += norm;
+    }
+    s.site_updates_mean =
+        static_cast<double>(updates_sum) / static_cast<double>(sites_k_);
+    s.drift_norm_mean /= static_cast<double>(sites_k_);
+    timeseries_->Record(s);
+  }
+}
+
 void FgmProtocol::StartSubround(double psi_total) {
   FGM_CHECK_LT(psi_total, 0.0);
   last_psi_ = psi_total;
   const double quantum = -psi_total / (2.0 * static_cast<double>(sites_k_));
+  last_theta_ = quantum;
   counter_total_ = 0;
   ++subrounds_;
   ++subrounds_this_round_;

@@ -20,6 +20,7 @@
 #ifndef FGM_CORE_FGM_PROTOCOL_H_
 #define FGM_CORE_FGM_PROTOCOL_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -68,6 +69,13 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
   /// (testing hook).
   double last_psi() const { return last_psi_; }
 
+  /// Most recent subround quantum θ = -ψ/2k (observability hook).
+  double last_quantum() const { return last_theta_; }
+  /// Current rebalance scale λ (1 when no rebalance is active).
+  double current_lambda() const { return lambda_; }
+  /// Subrounds completed so far in the current round.
+  int64_t subrounds_this_round() const { return subrounds_this_round_; }
+
   /// Accumulated ψ-variability V = Σ_n |Δψ_n|/|ψ_n| over all completed
   /// subrounds (§2.5.1). Theorem 2.7 bounds the total subround traffic by
   /// (9k+3)·V words; see SubroundWords().
@@ -107,6 +115,10 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
 
  private:
   void StartRound();
+  /// Plan audit + time-series emission for the round that just ended.
+  /// Runs at the top of StartRound, after EndRound's flush but before any
+  /// per-round state is reset, so it sees the finished round verbatim.
+  void EmitRoundObservability();
   void StartSubround(double psi_total);
   void PollAndAdvance();
   void TryRebalance();
@@ -126,8 +138,11 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
 
   // Observability (non-owning; null when disabled).
   TraceSink* trace_ = nullptr;
+  TimeSeries* timeseries_ = nullptr;
   WallTimer* sketch_timer_ = nullptr;
   WallTimer* safe_fn_timer_ = nullptr;
+  RunningStats* plan_gain_abs_err_ = nullptr;
+  RunningStats* plan_gain_rel_err_ = nullptr;
 
   RealVector estimate_;  // E
   double query_value_ = 0.0;
@@ -148,8 +163,18 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
   // Subround tracking.
   int64_t counter_total_ = 0;  // c
   double last_psi_ = 0.0;
+  double last_theta_ = 0.0;
   int64_t subrounds_this_round_ = 0;
   double psi_variability_ = 0.0;
+
+  // Plan audit: the prediction behind the current round's plan, kept so
+  // the round's outcome can be compared against it at the next boundary.
+  bool plan_predicted_ = false;
+  double plan_pred_len_ = 0.0;
+  double plan_pred_gain_ = 0.0;
+  double plan_pred_rate_ = 0.0;
+  std::array<int64_t, static_cast<size_t>(MsgKind::kKindCount)>
+      round_start_words_by_kind_{};
 
   // Optimizer inputs gathered during the round.
   std::vector<RealVector> round_drift_;  // coordinator-side per-site Σflushes

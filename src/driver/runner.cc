@@ -14,6 +14,7 @@
 #include "gm/gm_protocol.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "stream/window.h"
 #include "util/check.h"
@@ -91,6 +92,7 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
       fgm.rebalance = false;
       fgm.trace = config.trace;
       fgm.metrics = config.metrics;
+      fgm.timeseries = config.timeseries;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgm: {
@@ -98,6 +100,7 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
       fgm.transport = mode;
       fgm.trace = config.trace;
       fgm.metrics = config.metrics;
+      fgm.timeseries = config.timeseries;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgmOpt: {
@@ -106,6 +109,7 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
       fgm.optimizer = true;
       fgm.trace = config.trace;
       fgm.metrics = config.metrics;
+      fgm.timeseries = config.timeseries;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
   }
@@ -186,6 +190,12 @@ RunResult Run(const RunConfig& base_config,
     own_metrics = std::make_unique<MetricsRegistry>();
     config.metrics = own_metrics.get();
   }
+  std::unique_ptr<TimeSeries> own_timeseries;
+  if (config.timeseries == nullptr && !config.timeseries_out.empty()) {
+    own_timeseries = std::make_unique<TimeSeries>(static_cast<size_t>(
+        std::max<int64_t>(config.timeseries_capacity, 1)));
+    config.timeseries = own_timeseries.get();
+  }
 
   // RunStart precedes the protocol's own events (its constructor already
   // starts the first round).
@@ -234,24 +244,78 @@ RunResult Run(const RunConfig& base_config,
     }
   };
 
+  // Interval snapshots and the stderr heartbeat. Both run at their own
+  // cadence outside the protocol's record path; in parallel mode the
+  // chunking below aligns to the snapshot boundary so the series is
+  // bit-identical for every thread count.
+  FgmProtocol* fgm_proto = dynamic_cast<FgmProtocol*>(protocol.get());
+  const int64_t snap_every = config.snapshot_every;
+  const bool sample = config.timeseries != nullptr && snap_every > 0;
+  auto interval_snapshot = [&](int64_t records) {
+    static_assert(kSnapshotMsgKinds == static_cast<int>(MsgKind::kKindCount),
+                  "RunSnapshot's kind slots must cover every MsgKind");
+    RunSnapshot s;
+    s.kind = "interval";
+    s.records = records;
+    s.round = protocol->rounds();
+    const TrafficStats& t = protocol->traffic();
+    s.total_words = t.total_words();
+    for (size_t i = 0; i < s.words_by_kind.size(); ++i) {
+      s.words_by_kind[i] = t.words_by_kind[i];
+    }
+    if (fgm_proto != nullptr) {
+      s.psi = fgm_proto->last_psi();
+      s.theta = fgm_proto->last_quantum();
+      s.lambda = fgm_proto->current_lambda();
+      s.subrounds = fgm_proto->subrounds_this_round();
+      s.total_subrounds = fgm_proto->subrounds();
+    }
+    config.timeseries->Record(s);
+  };
+  const int64_t progress = config.progress_every;
+  auto progress_emit = [&](int64_t records) {
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double rate =
+        secs > 0.0 ? static_cast<double>(records) / secs : 0.0;
+    if (fgm_proto != nullptr) {
+      std::fprintf(stderr,
+                   "[fgm] %lld records  %.0f rec/s  round %lld  psi %.6g\n",
+                   static_cast<long long>(records), rate,
+                   static_cast<long long>(protocol->rounds()),
+                   fgm_proto->last_psi());
+    } else {
+      std::fprintf(stderr, "[fgm] %lld records  %.0f rec/s  round %lld\n",
+                   static_cast<long long>(records), rate,
+                   static_cast<long long>(protocol->rounds()));
+    }
+  };
+
   ShardedProtocol* sharded =
       config.threads > 1 ? dynamic_cast<ShardedProtocol*>(protocol.get())
                          : nullptr;
   if (sharded != nullptr) {
     ParallelRunnerOptions opts;
     opts.threads = config.threads;
+    opts.metrics = config.metrics;
     ParallelRunner par(sharded, opts);
     std::vector<StreamRecord> chunk;
     constexpr int64_t kChunkCap = 32768;
     bool exhausted = false;
     while (!exhausted) {
       chunk.clear();
-      // Chunks never straddle a verification boundary, so every check
-      // observes the protocol exactly where the serial loop would.
+      // Chunks never straddle a verification or snapshot boundary, so
+      // every check and interval sample observes the protocol exactly
+      // where the serial loop would.
       int64_t limit = kChunkCap;
       if (verify) {
         limit = std::min(limit,
                          config.check_every - (n % config.check_every));
+      }
+      if (sample) {
+        limit = std::min(limit, snap_every - (n % snap_every));
       }
       while (static_cast<int64_t>(chunk.size()) < limit) {
         const StreamRecord* rec = next_event();
@@ -262,12 +326,18 @@ RunResult Run(const RunConfig& base_config,
         chunk.push_back(*rec);
       }
       if (chunk.empty()) break;
+      const int64_t chunk_start = n;
       par.Process(chunk.data(), static_cast<int64_t>(chunk.size()));
       for (const StreamRecord& rec : chunk) {
         ++n;
         if (verify) verify_record(rec);
       }
+      if (sample && n % snap_every == 0) interval_snapshot(n);
+      if (progress > 0 && n / progress != chunk_start / progress) {
+        progress_emit(n);
+      }
     }
+    par.PublishThreadStats();
     result.threads_used = par.threads();
     result.parallel_windows = par.windows();
     result.parallel_barriers = par.barriers();
@@ -277,6 +347,8 @@ RunResult Run(const RunConfig& base_config,
       protocol->ProcessRecord(*rec);
       ++n;
       if (verify) verify_record(*rec);
+      if (sample && n % snap_every == 0) interval_snapshot(n);
+      if (progress > 0 && n % progress == 0) progress_emit(n);
     }
   }
 
@@ -333,6 +405,9 @@ RunResult Run(const RunConfig& base_config,
   }
   if (!config.metrics_out.empty() && config.metrics != nullptr) {
     WriteMetricsFile(config.metrics_out, config, result, *config.metrics);
+  }
+  if (!config.timeseries_out.empty() && config.timeseries != nullptr) {
+    config.timeseries->WriteFile(config.timeseries_out);
   }
   return result;
 }

@@ -16,6 +16,7 @@
 namespace fgm {
 
 class MetricsRegistry;
+class TimeSeries;
 class TraceSink;
 
 enum class ProtocolKind {
@@ -90,10 +91,30 @@ struct RunConfig {
   /// (empty = off). A private registry is created when `metrics` is null.
   std::string metrics_out;
 
+  /// Write the run-health time series (obs/timeseries.h) here as JSON
+  /// (empty = off). A private TimeSeries is created when `timeseries` is
+  /// null. FGM protocols add one sample per completed round; the driver
+  /// adds "interval" samples every snapshot_every records.
+  std::string timeseries_out;
+
+  /// Take an extra "interval" snapshot every this many records (0 = round
+  /// boundaries only). In parallel mode chunks are aligned to this
+  /// boundary, so samples land at identical record counts for every
+  /// thread count and the series stays bit-identical.
+  int64_t snapshot_every = 0;
+
+  /// Ring-buffer capacity of the time series (oldest samples drop).
+  int64_t timeseries_capacity = 4096;
+
+  /// Print a stderr heartbeat every this many records (0 = silent):
+  /// records processed, records/s, current round and ψ.
+  int64_t progress_every = 0;
+
   /// Caller-provided sinks (non-owning; take precedence over the paths
   /// above for event/metric collection).
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+  TimeSeries* timeseries = nullptr;
 };
 
 struct RunResult {

@@ -4,14 +4,21 @@
 //       [--sites=27] [--updates=400000] [--eps=0.1] [--window=14400]
 //       [--count_window=0] [--depth=5] [--width=300] [--check_every=5000]
 //       [--threads=1] [--trace_out=trace.jsonl]
-//       [--metrics_out=metrics.json] [--strict_wire]
+//       [--metrics_out=metrics.json] [--timeseries_out=ts.json]
+//       [--snapshot_every=0] [--timeseries_cap=4096] [--progress=0]
+//       [--strict_wire]
 //
 // --threads > 1 runs the sharded parallel engine (exec/); traffic,
-// traces and results are bit-identical to --threads=1.
+// traces, results and time series are bit-identical to --threads=1.
 //
 // --trace_out writes the structured JSONL event trace (obs/trace.h);
 // --metrics_out writes a JSON summary of the RunResult plus the metrics
-// registry. tools/trace_check re-verifies a written trace offline.
+// registry; --timeseries_out writes the per-round run-health series
+// (obs/timeseries.h), with extra interval samples every
+// --snapshot_every records. --progress=N prints a stderr heartbeat
+// every N records. tools/trace_check re-verifies a written trace
+// offline; tools/fgm_report renders the trace+metrics+timeseries triple
+// into a run report and cross-checks them against each other.
 
 #include <cstdio>
 #include <string>
@@ -77,6 +84,10 @@ int main(int argc, char** argv) {
   config.threads = static_cast<int>(flags.GetInt("threads", 1));
   config.trace_out = flags.GetString("trace_out", "");
   config.metrics_out = flags.GetString("metrics_out", "");
+  config.timeseries_out = flags.GetString("timeseries_out", "");
+  config.snapshot_every = flags.GetInt("snapshot_every", 0);
+  config.timeseries_capacity = flags.GetInt("timeseries_cap", 4096);
+  config.progress_every = flags.GetInt("progress", 0);
   config.strict_wire = flags.GetBool("strict_wire", false);
 
   const std::vector<std::string> unknown = flags.Unparsed();
@@ -112,6 +123,9 @@ int main(int argc, char** argv) {
   }
   if (!config.metrics_out.empty()) {
     std::printf("metrics: %s\n", config.metrics_out.c_str());
+  }
+  if (!config.timeseries_out.empty()) {
+    std::printf("timeseries: %s\n", config.timeseries_out.c_str());
   }
   return 0;
 }

@@ -1,7 +1,9 @@
 #include "exec/parallel_runner.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace fgm {
@@ -17,6 +19,32 @@ ParallelRunner::ParallelRunner(ShardedProtocol* protocol,
   FGM_CHECK(protocol != nullptr);
   FGM_CHECK_GE(opts_.min_horizon, 1);
   FGM_CHECK_GE(opts_.max_horizon, opts_.min_horizon);
+  if (opts_.metrics != nullptr) {
+    MetricsRegistry* m = opts_.metrics;
+    spec_windows_ = m->GetCounter("spec_windows");
+    spec_barriers_ = m->GetCounter("spec_barriers");
+    spec_speculated_ = m->GetCounter("spec_records_speculated");
+    spec_committed_ = m->GetCounter("spec_records_committed");
+    spec_replayed_ = m->GetCounter("spec_records_replayed");
+    spec_wasted_ = m->GetCounter("spec_records_wasted");
+    spec_speculate_timer_ = m->GetTimer("spec_speculate");
+    spec_commit_timer_ = m->GetTimer("spec_commit");
+    spec_horizon_stats_ = m->GetStats("spec_horizon_per_window");
+    spec_horizon_ = m->GetGauge("spec_horizon");
+  }
+}
+
+void ParallelRunner::PublishThreadStats() {
+  if (opts_.metrics == nullptr) return;
+  const std::vector<int64_t> tally = pool_.TaskTally();
+  for (size_t i = 0; i < tally.size(); ++i) {
+    opts_.metrics
+        ->GetGauge("spec_thread" + std::to_string(i) + "_tasks")
+        ->Set(static_cast<double>(tally[i]));
+  }
+  if (spec_horizon_ != nullptr) {
+    spec_horizon_->Set(static_cast<double>(horizon_));
+  }
 }
 
 void ParallelRunner::Process(const StreamRecord* records, int64_t count) {
@@ -44,6 +72,10 @@ void ParallelRunner::Process(const StreamRecord* records, int64_t count) {
 
 int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
   ++windows_;
+  if (spec_windows_ != nullptr) {
+    spec_windows_->Add(1);
+    spec_horizon_stats_->Add(static_cast<double>(count));
+  }
   const int64_t budget = protocol_->SpeculationBudget();
   FGM_CHECK_GE(budget, 1);
 
@@ -61,22 +93,30 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
   // shard stops once its OWN event weight reaches the budget — the merged
   // crossing can only be at or before that position, so every event below
   // the barrier is guaranteed to have been gathered.
-  pool_.ParallelFor(static_cast<int>(active_.size()), [&](int j) {
-    const int s = active_[static_cast<size_t>(j)];
-    Shard& shard = shards_[static_cast<size_t>(s)];
-    int64_t own_weight = 0;
-    for (const int64_t pos : shard.positions) {
-      double value = 0.0;
-      const int64_t w = protocol_->LocalProcess(records[pos], &value);
-      ++shard.processed;
-      if (w > 0) {
-        shard.events.push_back(
-            LocalEvent{pos, static_cast<int32_t>(s), w, value});
-        own_weight += w;
-        if (own_weight >= budget) break;
+  {
+    ScopedTimer t(spec_speculate_timer_);
+    pool_.ParallelFor(static_cast<int>(active_.size()), [&](int j) {
+      const int s = active_[static_cast<size_t>(j)];
+      Shard& shard = shards_[static_cast<size_t>(s)];
+      int64_t own_weight = 0;
+      for (const int64_t pos : shard.positions) {
+        double value = 0.0;
+        const int64_t w = protocol_->LocalProcess(records[pos], &value);
+        ++shard.processed;
+        if (w > 0) {
+          shard.events.push_back(
+              LocalEvent{pos, static_cast<int32_t>(s), w, value});
+          own_weight += w;
+          if (own_weight >= budget) break;
+        }
       }
-    }
-  });
+    });
+  }
+  if (spec_speculated_ != nullptr) {
+    int64_t processed = 0;
+    for (int s : active_) processed += shards_[static_cast<size_t>(s)].processed;
+    spec_speculated_->Add(processed);
+  }
 
   // Merge by global position (positions are unique, so the order — and
   // everything committed from it — is deterministic).
@@ -105,6 +145,9 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
   }
 
   int64_t consumed;
+  const int64_t replayed_before = replayed_;
+  const int64_t wasted_before = wasted_;
+  ScopedTimer commit_timer(spec_commit_timer_);
   if (barrier < 0) {
     // No coordinator interaction in this window: all speculation commits.
     // No shard can have stopped early (its own weight alone would have
@@ -133,6 +176,7 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
       if (shard.processed > prefix) {
         protocol_->RestoreCheckpoint(s);
         replayed_ += prefix;
+        wasted_ += shard.processed - prefix;
         for (int64_t i = 0; i < prefix; ++i) {
           double value = 0.0;
           protocol_->LocalProcess(records[shard.positions[static_cast<size_t>(i)]],
@@ -153,6 +197,14 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
     shard.positions.clear();
     shard.events.clear();
     shard.processed = 0;
+  }
+  if (spec_committed_ != nullptr) {
+    spec_committed_->Add(consumed);
+    if (barrier >= 0) {
+      spec_barriers_->Add(1);
+      spec_replayed_->Add(replayed_ - replayed_before);
+      spec_wasted_->Add(wasted_ - wasted_before);
+    }
   }
   return consumed;
 }

@@ -23,12 +23,23 @@
 
 namespace fgm {
 
+class Counter;
+class Gauge;
+class MetricsRegistry;
+class RunningStats;
+class WallTimer;
+
 struct ParallelRunnerOptions {
   /// Total worker parallelism including the calling thread.
   int threads = 1;
   /// Bounds for the adaptive speculation horizon (records per window).
   int64_t min_horizon = 128;
   int64_t max_horizon = 65536;
+  /// Speculation accounting sink (non-owning; nullptr = off). Instrument
+  /// pointers are resolved once at construction; all bookkeeping happens
+  /// at window granularity — never per record — so the record path is
+  /// unchanged whether or not a registry is attached.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class ParallelRunner {
@@ -45,7 +56,16 @@ class ParallelRunner {
   int64_t windows() const { return windows_; }
   int64_t barriers() const { return barriers_; }
   int64_t replayed_records() const { return replayed_; }
+  /// Speculated records discarded past a barrier (rolled back, NOT
+  /// replayed — the rollback restores the checkpoint and the replay of
+  /// the prefix is counted separately in replayed_records()).
+  int64_t wasted_records() const { return wasted_; }
   int threads() const { return pool_.threads(); }
+
+  /// Publishes the per-thread shard-task split and the final horizon to
+  /// the registry (gauges `spec_thread<i>_tasks`, `spec_horizon`). Called
+  /// once after a run; no-op without a registry.
+  void PublishThreadStats();
 
  private:
   /// Runs one speculation window; returns how many leading records were
@@ -74,6 +94,20 @@ class ParallelRunner {
   int64_t windows_ = 0;
   int64_t barriers_ = 0;
   int64_t replayed_ = 0;
+  int64_t wasted_ = 0;
+
+  // Speculation accounting instruments (null when no registry; each use
+  // is a pointer test at window granularity).
+  Counter* spec_windows_ = nullptr;
+  Counter* spec_barriers_ = nullptr;
+  Counter* spec_speculated_ = nullptr;  ///< records processed speculatively
+  Counter* spec_committed_ = nullptr;   ///< records committed
+  Counter* spec_replayed_ = nullptr;    ///< records replayed after rollback
+  Counter* spec_wasted_ = nullptr;      ///< records discarded past barriers
+  WallTimer* spec_speculate_timer_ = nullptr;
+  WallTimer* spec_commit_timer_ = nullptr;
+  RunningStats* spec_horizon_stats_ = nullptr;  ///< horizon per window
+  Gauge* spec_horizon_ = nullptr;               ///< final adapted horizon
 };
 
 }  // namespace fgm

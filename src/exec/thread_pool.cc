@@ -6,9 +6,10 @@ namespace fgm {
 
 ThreadPool::ThreadPool(int threads) {
   FGM_CHECK_GE(threads, 1);
+  task_tally_.assign(static_cast<size_t>(threads), 0);
   workers_.reserve(static_cast<size_t>(threads - 1));
   for (int i = 0; i < threads - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -32,7 +33,12 @@ int ThreadPool::RunTasks(const std::function<void(int)>& fn, int limit) {
   return done;
 }
 
-void ThreadPool::WorkerLoop() {
+std::vector<int64_t> ThreadPool::TaskTally() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return task_tally_;
+}
+
+void ThreadPool::WorkerLoop(int slot) {
   int64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* job;
@@ -53,6 +59,7 @@ void ThreadPool::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       finished_ += done;
+      task_tally_[static_cast<size_t>(slot)] += done;
       --draining_;
     }
     job_done_.notify_all();
@@ -63,6 +70,7 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   if (workers_.empty() || n == 1) {
     for (int i = 0; i < n; ++i) fn(i);
+    task_tally_[0] += n;
     return;
   }
   std::unique_lock<std::mutex> lock(mu_);
@@ -83,6 +91,7 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
 
   lock.lock();
   finished_ += done;
+  task_tally_[0] += done;
   // Mutex acquire/release orders every task's writes before the return.
   job_done_.wait(lock, [&] { return finished_ >= n && draining_ == 0; });
   job_ = nullptr;

@@ -39,15 +39,20 @@ class ThreadPool {
   /// and must not re-enter ParallelFor.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
+  /// Tasks executed by each thread over the pool's lifetime (slot 0 is
+  /// the calling thread). Updated under the pool mutex at job boundaries
+  /// — reading it costs nothing on the per-task path.
+  std::vector<int64_t> TaskTally() const;
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int slot);
   /// Pulls indices from next_ until the job is exhausted; returns how many
   /// tasks this thread executed.
   int RunTasks(const std::function<void(int)>& fn, int limit);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable job_ready_;
   std::condition_variable job_done_;
   const std::function<void(int)>* job_ = nullptr;
@@ -56,6 +61,7 @@ class ThreadPool {
   bool shutdown_ = false;
   int finished_ = 0;  // tasks completed in the current job (guarded by mu_)
   int draining_ = 0;  // workers currently inside RunTasks (guarded by mu_)
+  std::vector<int64_t> task_tally_;  // per-thread lifetime task counts
 
   // Lock-free task cursor — the only state touched per task.
   std::atomic<int> next_{0};

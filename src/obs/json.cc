@@ -10,8 +10,10 @@
 namespace fgm {
 
 std::string JsonWriter::Number(double value) {
-  if (std::isnan(value)) return "null";
-  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+  // JSON has no inf/nan; both serialize as null so traces stay parseable
+  // (a raw `inf` token would invalidate the whole JSONL line). Parsers map
+  // null numeric fields back to NaN, keeping "non-finite" observable.
+  if (!std::isfinite(value)) return "null";
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
@@ -268,7 +270,135 @@ bool ParseValue(const std::string& s, size_t* i, JsonValue* out,
   return true;
 }
 
+// Recursive-descent parser for the nested documents the offline tools
+// read. Shares the scalar token logic above via JsonValue.
+bool ParseNode(const std::string& s, size_t* i, JsonNode* out,
+               std::string* error, int depth) {
+  if (depth > 64) {
+    *error = "nesting too deep";
+    return false;
+  }
+  SkipSpace(s, i);
+  if (*i >= s.size()) {
+    *error = "expected value";
+    return false;
+  }
+  const char c = s[*i];
+  if (c == '{') {
+    out->type = JsonNode::Type::kObject;
+    ++*i;
+    SkipSpace(s, i);
+    if (*i < s.size() && s[*i] == '}') {
+      ++*i;
+      return true;
+    }
+    while (true) {
+      SkipSpace(s, i);
+      std::string key;
+      if (!ParseString(s, i, &key, error)) return false;
+      SkipSpace(s, i);
+      if (*i >= s.size() || s[*i] != ':') {
+        *error = "expected ':'";
+        return false;
+      }
+      ++*i;
+      JsonNode child;
+      if (!ParseNode(s, i, &child, error, depth + 1)) return false;
+      out->members.emplace_back(std::move(key), std::move(child));
+      SkipSpace(s, i);
+      if (*i < s.size() && s[*i] == ',') {
+        ++*i;
+        continue;
+      }
+      if (*i < s.size() && s[*i] == '}') {
+        ++*i;
+        return true;
+      }
+      *error = "expected ',' or '}'";
+      return false;
+    }
+  }
+  if (c == '[') {
+    out->type = JsonNode::Type::kArray;
+    ++*i;
+    SkipSpace(s, i);
+    if (*i < s.size() && s[*i] == ']') {
+      ++*i;
+      return true;
+    }
+    while (true) {
+      JsonNode child;
+      if (!ParseNode(s, i, &child, error, depth + 1)) return false;
+      out->items.push_back(std::move(child));
+      SkipSpace(s, i);
+      if (*i < s.size() && s[*i] == ',') {
+        ++*i;
+        continue;
+      }
+      if (*i < s.size() && s[*i] == ']') {
+        ++*i;
+        return true;
+      }
+      *error = "expected ',' or ']'";
+      return false;
+    }
+  }
+  JsonValue scalar;
+  if (!ParseValue(s, i, &scalar, error)) return false;
+  switch (scalar.type) {
+    case JsonValue::Type::kString:
+      out->type = JsonNode::Type::kString;
+      out->str = std::move(scalar.str);
+      break;
+    case JsonValue::Type::kBool:
+      out->type = JsonNode::Type::kBool;
+      out->boolean = scalar.boolean;
+      break;
+    case JsonValue::Type::kNull:
+      out->type = JsonNode::Type::kNull;
+      break;
+    case JsonValue::Type::kNumber:
+      out->type = JsonNode::Type::kNumber;
+      out->num = scalar.num;
+      out->int_val = scalar.int_val;
+      out->is_int = scalar.is_int;
+      break;
+  }
+  return true;
+}
+
 }  // namespace
+
+const JsonNode* JsonNode::Find(const std::string& key) const {
+  for (const auto& [name, node] : members) {
+    if (name == key) return &node;
+  }
+  return nullptr;
+}
+
+double JsonNode::AsDouble(double fallback) const {
+  if (type == Type::kNumber) return num;
+  // Null numeric fields are the writer's encoding of inf/nan.
+  if (type == Type::kNull) return std::nan("");
+  return fallback;
+}
+
+int64_t JsonNode::AsInt(int64_t fallback) const {
+  if (type != Type::kNumber) return fallback;
+  return is_int ? int_val : static_cast<int64_t>(num);
+}
+
+bool ParseJson(const std::string& text, JsonNode* out, std::string* error) {
+  *out = JsonNode();
+  size_t i = 0;
+  if (!ParseNode(text, &i, out, error, 0)) return false;
+  SkipSpace(text, &i);
+  if (i != text.size()) {
+    *error = "trailing characters after document";
+    return false;
+  }
+  return true;
+}
 
 bool ParseFlatJsonObject(const std::string& text,
                          std::map<std::string, JsonValue>* out,

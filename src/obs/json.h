@@ -20,8 +20,9 @@ namespace fgm {
 
 class JsonWriter {
  public:
-  /// Renders a double with round-trip precision, normalizing non-finite
-  /// values (JSON has no inf/nan) to very large magnitudes / null.
+  /// Renders a double with round-trip precision. Non-finite values (JSON
+  /// has no inf/nan) serialize as `null`; parsers on this side map null
+  /// numeric fields back to NaN.
   static std::string Number(double value);
   /// Quotes and escapes a string.
   static std::string Quoted(const std::string& value);
@@ -67,10 +68,39 @@ struct JsonValue {
 
 /// Parses a single flat JSON object `{"key": value, ...}` with scalar
 /// values only (string / number / true / false / null). Returns false and
-/// sets `*error` on malformed input or nesting.
+/// sets `*error` on malformed input or nesting. This is the fast path the
+/// per-line trace replay uses; nested documents go through ParseJson.
 bool ParseFlatJsonObject(const std::string& text,
                          std::map<std::string, JsonValue>* out,
                          std::string* error);
+
+/// One node of a parsed JSON document (general, nested). Numbers keep
+/// both the double and (when the syntax was integral) the int64 reading;
+/// null numeric fields read back as NaN through AsDouble().
+struct JsonNode {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  int64_t int_val = 0;
+  bool is_int = false;
+  std::string str;
+  std::vector<JsonNode> items;  // kArray elements
+  std::vector<std::pair<std::string, JsonNode>> members;  // kObject, in order
+
+  /// Member lookup (kObject only); nullptr when absent.
+  const JsonNode* Find(const std::string& key) const;
+  /// Number as double; NaN for null, `fallback` for any other non-number.
+  double AsDouble(double fallback = 0.0) const;
+  /// Number with integral syntax (doubles truncate); `fallback` otherwise.
+  int64_t AsInt(int64_t fallback = 0) const;
+};
+
+/// Parses a complete JSON document (objects, arrays, scalars, nesting).
+/// Returns false and sets `*error` on malformed input. Used by the
+/// offline analysis tools (fgm_report, bench_gate) to read the nested
+/// metrics / time-series / BENCH_*.json files.
+bool ParseJson(const std::string& text, JsonNode* out, std::string* error);
 
 }  // namespace fgm
 

@@ -1,5 +1,6 @@
 #include "obs/replay.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -32,9 +33,11 @@ int64_t GetInt(const std::map<std::string, JsonValue>& obj,
 double GetDouble(const std::map<std::string, JsonValue>& obj,
                  const std::string& key, double fallback = 0.0) {
   const auto it = obj.find(key);
-  if (it == obj.end() || it->second.type != JsonValue::Type::kNumber) {
-    return fallback;
-  }
+  if (it == obj.end()) return fallback;
+  // The writer serializes non-finite doubles as null; read them back as
+  // NaN so "the value was not finite" stays observable.
+  if (it->second.type == JsonValue::Type::kNull) return std::nan("");
+  if (it->second.type != JsonValue::Type::kNumber) return fallback;
   return it->second.num;
 }
 
@@ -115,6 +118,23 @@ bool ParseTraceEventJson(const std::string& line, TraceEvent* event,
       event->dir = (dir != nullptr && std::strcmp(dir, "up") == 0) ? 1 : -1;
       break;
     }
+    case TraceEventKind::kPlanChosen:
+      event->counter = GetInt(obj, "full_sites");
+      event->pred_len = GetDouble(obj, "pred_len");
+      event->pred_gain = GetDouble(obj, "pred_gain");
+      event->pred_rate = GetDouble(obj, "pred_rate");
+      break;
+    case TraceEventKind::kPlanSite:
+      event->counter = GetInt(obj, "d");
+      event->alpha = GetDouble(obj, "alpha");
+      event->beta = GetDouble(obj, "beta");
+      event->gamma = GetDouble(obj, "gamma");
+      break;
+    case TraceEventKind::kPlanOutcome:
+      event->count = GetInt(obj, "updates");
+      event->pred_gain = GetDouble(obj, "pred_gain");
+      event->actual_gain = GetDouble(obj, "actual_gain");
+      break;
     case TraceEventKind::kRunEnd:
       event->count = GetInt(obj, "events");
       break;
@@ -191,6 +211,7 @@ class Checker {
         last_round_ = e.round;
         round_ = e.round;
         in_round_ = true;
+        round_msg_words_ = 0;
         if (e.k >= 1) {
           if (k_ > 0 && e.k != k_) Fail(e.seq, "site count k changed");
           k_ = e.k;
@@ -339,6 +360,46 @@ class Checker {
           down_words_ += e.words;
           ++down_msgs_;
         }
+        round_msg_words_ += e.words;
+        break;
+
+      case TraceEventKind::kPlanChosen:
+        ++report_.plans;
+        CheckRound(e);
+        if (e.counter < 0 || (e.k > 0 && e.counter > e.k)) {
+          Fail(e.seq, "plan with full_sites outside [0, k]");
+        }
+        break;
+
+      case TraceEventKind::kPlanSite:
+        CheckRound(e);
+        if (e.counter != 0 && e.counter != 1) {
+          Fail(e.seq, "plan site d outside {0, 1}");
+        }
+        if (e.site < 0 || (k_ > 0 && e.site >= k_)) {
+          Fail(e.seq, "plan for invalid site");
+        }
+        if (!(e.gamma >= 0.0 && e.gamma <= 1.0)) {
+          Fail(e.seq, "plan site gamma outside [0, 1]");
+        }
+        break;
+
+      case TraceEventKind::kPlanOutcome:
+        ++report_.plan_outcomes;
+        CheckRound(e);
+        // The outcome closes the round's word ledger: its `words` must
+        // re-sum the round's individual MsgSent events bit-exactly (the
+        // per-round analogue of the RunEnd totals check), and the gain is
+        // recomputable from the traced operands.
+        if (e.words != round_msg_words_) {
+          Fail(e.seq, "plan outcome words " + std::to_string(e.words) +
+                          " != summed MsgSent words of the round " +
+                          std::to_string(round_msg_words_));
+        }
+        if (e.actual_gain != static_cast<double>(e.count) -
+                                 static_cast<double>(e.words)) {
+          Fail(e.seq, "plan outcome actual_gain != updates - words");
+        }
         break;
 
       case TraceEventKind::kRunEnd:
@@ -371,6 +432,7 @@ class Checker {
   bool subround_open_ = false;
   int64_t subround_ = 0;
   int64_t increment_sum_ = 0;
+  int64_t round_msg_words_ = 0;
   double expected_psi_ = 0.0;
   bool have_expected_psi_ = false;
   int64_t up_words_ = 0, down_words_ = 0;
@@ -384,7 +446,7 @@ std::string ReplayReport::Summary() const {
   out << "events=" << events << " rounds=" << rounds << " subrounds="
       << subrounds << " increments=" << increments << " flushes=" << flushes
       << " rebalances=" << rebalances << " messages=" << messages
-      << " words=" << (up_words + down_words)
+      << " plans=" << plans << " words=" << (up_words + down_words)
       << (saw_run_end ? "" : " (no RunEnd totals)");
   if (ok()) {
     out << " — all invariants hold";

@@ -16,7 +16,11 @@
 //  * rebalances restore slack: λ ∈ (0,1], ψ_B ≤ 0, and the restored
 //    ψ = kλφ(0) + ψ_B stays at or below the termination level;
 //  * summed per-message MsgSent words equal the RunEnd TrafficStats
-//    totals exactly (closing the loop on strict wire accounting).
+//    totals exactly (closing the loop on strict wire accounting);
+//  * FGM/O plan audit: each PlanOutcome's word count re-sums the round's
+//    MsgSent events bit-exactly (the per-round ledger), its actual gain
+//    equals updates - words, and PlanChosen/PlanSite events carry sane
+//    d/γ values for the current round.
 //
 // All double comparisons are exact: the JSONL sink prints with round-trip
 // precision and the checker recomputes with the same operation order the
@@ -55,6 +59,8 @@ struct ReplayReport {
   int64_t flushes = 0;
   int64_t rebalances = 0;
   int64_t messages = 0;
+  int64_t plans = 0;          ///< FGM/O PlanChosen events
+  int64_t plan_outcomes = 0;  ///< FGM/O PlanOutcome events
   int64_t up_words = 0;
   int64_t down_words = 0;
   bool saw_run_end = false;

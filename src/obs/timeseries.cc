@@ -1,0 +1,99 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace fgm {
+
+TimeSeries::TimeSeries(size_t capacity) : capacity_(capacity) {
+  FGM_CHECK(capacity_ > 0);
+}
+
+void TimeSeries::Record(RunSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.seq = taken_++;
+  if (samples_.size() == capacity_) {
+    samples_.pop_front();
+    ++dropped_;
+  }
+  samples_.push_back(snapshot);
+}
+
+int64_t TimeSeries::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return taken_;
+}
+
+int64_t TimeSeries::samples_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<RunSnapshot> TimeSeries::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {samples_.begin(), samples_.end()};
+}
+
+namespace {
+
+void WriteKindArray(JsonWriter* w, const char* key,
+                    const std::array<int64_t, kSnapshotMsgKinds>& words) {
+  w->Key(key);
+  w->BeginArray();
+  for (const int64_t v : words) w->Int(v);
+  w->EndArray();
+}
+
+}  // namespace
+
+void TimeSeries::WriteJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->BeginObject();
+  w->Field("capacity", static_cast<int64_t>(capacity_));
+  w->Field("taken", taken_);
+  w->Field("dropped", dropped_);
+  w->Key("samples");
+  w->BeginArray();
+  for (const RunSnapshot& s : samples_) {
+    w->BeginObject();
+    w->Field("kind", s.kind);
+    w->Field("seq", s.seq);
+    w->Field("records", s.records);
+    w->Field("round", s.round);
+    w->Field("subrounds", s.subrounds);
+    w->Field("total_subrounds", s.total_subrounds);
+    w->Field("psi", s.psi);
+    w->Field("theta", s.theta);
+    w->Field("lambda", s.lambda);
+    w->Field("total_words", s.total_words);
+    w->Field("round_words", s.round_words);
+    WriteKindArray(w, "words_by_kind", s.words_by_kind);
+    WriteKindArray(w, "round_words_by_kind", s.round_words_by_kind);
+    w->Field("plan_full_sites", s.plan_full_sites);
+    w->Field("pred_gain", s.pred_gain);
+    w->Field("actual_gain", s.actual_gain);
+    w->Field("site_updates_max", s.site_updates_max);
+    w->Field("site_updates_mean", s.site_updates_mean);
+    w->Field("drift_norm_max", s.drift_norm_max);
+    w->Field("drift_norm_mean", s.drift_norm_mean);
+    w->Field("hot_site", static_cast<int64_t>(s.hot_site));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void TimeSeries::WriteFile(const std::string& path) const {
+  JsonWriter w;
+  WriteJson(&w);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FGM_CHECK(f != nullptr);
+  const std::string& text = w.str();
+  FGM_CHECK(std::fwrite(text.data(), 1, text.size(), f) == text.size());
+  std::fputc('\n', f);
+  FGM_CHECK(std::fclose(f) == 0);
+}
+
+}  // namespace fgm

@@ -1,0 +1,99 @@
+// Run-health time series: periodic snapshots of protocol state.
+//
+// A trace records every event; this module records *state* — one
+// RunSnapshot per round boundary (and optionally every N records) holding
+// the quantities the paper's evaluation plots per round: cumulative and
+// per-round words split by message kind, subround counts, the ψ/θ/λ
+// trajectory, the FGM/O plan audit numbers, and per-site skew aggregates
+// (update counts and drift norms). Samples land in a bounded ring buffer
+// so long runs cannot exhaust memory; when full, the oldest samples are
+// dropped and counted.
+//
+// Same zero-cost discipline as TraceSink: producers hold a raw
+// `TimeSeries*` that is null when disabled, and sampling happens at round
+// boundaries / configured intervals only — never per record.
+
+#ifndef FGM_OBS_TIMESERIES_H_
+#define FGM_OBS_TIMESERIES_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fgm {
+
+class JsonWriter;
+
+/// Maximum message-kind slots a snapshot carries. Matches
+/// MsgKind::kKindCount (static_asserted where both headers are visible;
+/// obs cannot include net headers — fgm_net links fgm_obs).
+inline constexpr int kSnapshotMsgKinds = 8;
+
+/// One sampled point of a run. Flat scalars + fixed arrays only, so the
+/// ring buffer never allocates per sample beyond the deque node.
+struct RunSnapshot {
+  /// "round" = taken at a round boundary; "interval" = --snapshot_every.
+  const char* kind = "round";
+  int64_t seq = 0;      ///< dense sample index, assigned by TimeSeries
+  int64_t records = 0;  ///< stream records processed so far
+  int64_t round = 0;    ///< current protocol round (1-based)
+  int64_t subrounds = 0;       ///< subrounds completed in this round so far
+  int64_t total_subrounds = 0; ///< subrounds completed over the whole run
+  double psi = 0.0;     ///< coordinator ψ at the sample point
+  double theta = 0.0;   ///< most recent subround quantum
+  double lambda = 0.0;  ///< current rebalance scale (1 = none)
+
+  // Communication, cumulative since run start and delta since the
+  // previous *round* sample. Indices are MsgKind values.
+  int64_t total_words = 0;
+  int64_t round_words = 0;
+  std::array<int64_t, kSnapshotMsgKinds> words_by_kind{};
+  std::array<int64_t, kSnapshotMsgKinds> round_words_by_kind{};
+
+  // FGM/O plan audit (round samples; zero when the optimizer is off or
+  // has no rate history yet).
+  int64_t plan_full_sites = 0;  ///< sites assigned d_i = full function
+  double pred_gain = 0.0;       ///< plan's predicted gain for the round
+  double actual_gain = 0.0;     ///< measured gain (updates − words)
+
+  // Per-site skew at the sample point.
+  int64_t site_updates_max = 0;   ///< busiest site's updates this round
+  double site_updates_mean = 0.0; ///< mean updates per site this round
+  double drift_norm_max = 0.0;    ///< largest per-site drift ‖X_i‖
+  double drift_norm_mean = 0.0;
+  int hot_site = -1;  ///< site with the max drift norm (-1 = none)
+};
+
+/// Bounded, thread-safe collection of RunSnapshots with JSON export.
+class TimeSeries {
+ public:
+  /// `capacity` bounds retained samples; oldest are dropped when full.
+  explicit TimeSeries(size_t capacity = 4096);
+
+  /// Appends a sample (stamps its seq). Thread-safe.
+  void Record(RunSnapshot snapshot);
+
+  int64_t samples_taken() const;   ///< total Record() calls
+  int64_t samples_dropped() const; ///< evicted by the capacity bound
+  std::vector<RunSnapshot> Samples() const;  ///< retained samples, in order
+
+  /// Writes {"capacity":..,"taken":..,"dropped":..,"samples":[...]}
+  /// into an open writer scope (emits one complete object).
+  void WriteJson(JsonWriter* w) const;
+  /// Writes the JSON document to `path`; FGM_CHECKs on I/O failure.
+  void WriteFile(const std::string& path) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<RunSnapshot> samples_;
+  int64_t taken_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace fgm
+
+#endif  // FGM_OBS_TIMESERIES_H_

@@ -25,6 +25,12 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "ThresholdCross";
     case TraceEventKind::kMsgSent:
       return "MsgSent";
+    case TraceEventKind::kPlanChosen:
+      return "PlanChosen";
+    case TraceEventKind::kPlanSite:
+      return "PlanSite";
+    case TraceEventKind::kPlanOutcome:
+      return "PlanOutcome";
     case TraceEventKind::kRunEnd:
       return "RunEnd";
     case TraceEventKind::kKindCount:
@@ -101,6 +107,29 @@ std::string JsonlTraceSink::EventJson(const TraceEvent& e) {
       w.Field("msg", e.label != nullptr ? e.label : "?");
       w.Field("dir", e.dir > 0 ? "up" : "down");
       w.Field("words", e.words);
+      break;
+    case TraceEventKind::kPlanChosen:
+      w.Field("round", e.round);
+      w.Field("full_sites", e.counter);
+      w.Field("k", static_cast<int64_t>(e.k));
+      w.Field("pred_len", e.pred_len);
+      w.Field("pred_gain", e.pred_gain);
+      w.Field("pred_rate", e.pred_rate);
+      break;
+    case TraceEventKind::kPlanSite:
+      w.Field("round", e.round);
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("d", e.counter);
+      w.Field("alpha", e.alpha);
+      w.Field("beta", e.beta);
+      w.Field("gamma", e.gamma);
+      break;
+    case TraceEventKind::kPlanOutcome:
+      w.Field("round", e.round);
+      w.Field("updates", e.count);
+      w.Field("words", e.words);
+      w.Field("pred_gain", e.pred_gain);
+      w.Field("actual_gain", e.actual_gain);
       break;
     case TraceEventKind::kRunEnd:
       w.Field("events", e.count);

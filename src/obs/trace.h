@@ -34,6 +34,9 @@ enum class TraceEventKind : int {
   kRebalance,       ///< coordinator: accepted rebalance (λ, ψ_B, new ψ)
   kThresholdCross,  ///< ψ reached the termination level / GM site violation
   kMsgSent,         ///< one wire message (kind, direction, words)
+  kPlanChosen,      ///< FGM/O: round plan (full sites, τ, predicted gain)
+  kPlanSite,        ///< FGM/O: per-site d_i with the α/β/γ rate estimates
+  kPlanOutcome,     ///< FGM/O: round's actual words/updates vs prediction
   kRunEnd,          ///< driver: final TrafficStats totals
   kKindCount,
 };
@@ -62,6 +65,13 @@ struct TraceEvent {
   int dir = 0;           ///< MsgSent: +1 coord → site, -1 site → coord
   int64_t up_words = 0, down_words = 0;  ///< RunEnd traffic totals
   int64_t up_msgs = 0, down_msgs = 0;
+  double alpha = 0.0;        ///< PlanSite: site update rate estimate
+  double beta = 0.0;         ///< PlanSite: full-function drain rate estimate
+  double gamma = 0.0;        ///< PlanSite: cheap-bound drain rate estimate
+  double pred_len = 0.0;     ///< PlanChosen: predicted round length τ
+  double pred_gain = 0.0;    ///< PlanChosen/PlanOutcome: predicted gain g−C
+  double pred_rate = 0.0;    ///< PlanChosen: predicted gain rate (g−C)/τ
+  double actual_gain = 0.0;  ///< PlanOutcome: measured gain for the round
   const char* label = nullptr;  ///< static string: msg kind, protocol name
 };
 

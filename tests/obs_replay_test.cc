@@ -81,6 +81,97 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string("Unknown");
     });
 
+TEST(ReplayChecker, GmTraceTalliesRoundsAndFlushes) {
+  const std::string path = ::testing::TempDir() + "/replay_gm_tally.jsonl";
+  const RunConfig config = SmallRun(ProtocolKind::kGm, path);
+  const RunResult result = ::fgm::Run(config, SmallTrace(config.sites));
+
+  const ReplayReport report = CheckTraceFile(path);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.rounds, result.rounds);
+  EXPECT_GT(report.messages, 0);
+  // GM has no FGM/O optimizer, so the trace carries no plan audit.
+  EXPECT_EQ(report.plans, 0);
+  EXPECT_EQ(report.plan_outcomes, 0);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayChecker, FgmOTraceCarriesPlanAudit) {
+  const std::string path = ::testing::TempDir() + "/replay_fgmo_plan.jsonl";
+  const RunConfig config = SmallRun(ProtocolKind::kFgmOpt, path);
+  const RunResult result = ::fgm::Run(config, SmallTrace(config.sites));
+
+  const ReplayReport report = CheckTraceFile(path);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  // One PlanChosen per round; one PlanOutcome per *completed* round (the
+  // final round ends with the run, so its outcome is never observed).
+  EXPECT_EQ(report.plans, result.rounds);
+  EXPECT_EQ(report.plan_outcomes, result.rounds - 1);
+  std::remove(path.c_str());
+}
+
+/// Replaces the number following `"field":` on the first line containing
+/// `"ev":"<ev>"` with `replacement`; returns the tampered trace text.
+std::string TamperFirst(const std::string& path, const std::string& ev,
+                        const std::string& field,
+                        const std::string& replacement, bool* corrupted) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open());
+  std::string tampered, line;
+  const std::string key = "\"" + field + "\":";
+  *corrupted = false;
+  while (std::getline(in, line)) {
+    const size_t at = line.find(key);
+    if (!*corrupted &&
+        line.find("\"ev\":\"" + ev + "\"") != std::string::npos &&
+        at != std::string::npos) {
+      size_t begin = at + key.size();
+      size_t end = begin;
+      while (end < line.size() && line[end] != ',' && line[end] != '}') {
+        ++end;
+      }
+      line.replace(begin, end - begin, replacement);
+      *corrupted = true;
+    }
+    tampered += line + "\n";
+  }
+  return tampered;
+}
+
+// The per-round ledger check: a PlanOutcome's words must re-sum the
+// round's MsgSent events bit-exactly.
+TEST(ReplayChecker, DetectsTamperedPlanOutcomeWords) {
+  const std::string path = ::testing::TempDir() + "/replay_plan_words.jsonl";
+  const RunConfig config = SmallRun(ProtocolKind::kFgmOpt, path);
+  ::fgm::Run(config, SmallTrace(config.sites));
+
+  bool corrupted = false;
+  const std::string tampered =
+      TamperFirst(path, "PlanOutcome", "words", "999999999", &corrupted);
+  std::remove(path.c_str());
+  ASSERT_TRUE(corrupted) << "expected a PlanOutcome in the FGM/O trace";
+
+  std::istringstream in(tampered);
+  const ReplayReport report = CheckTrace(in);
+  EXPECT_FALSE(report.ok()) << "tampered PlanOutcome words must be detected";
+}
+
+TEST(ReplayChecker, DetectsTamperedPlanOutcomeGain) {
+  const std::string path = ::testing::TempDir() + "/replay_plan_gain.jsonl";
+  const RunConfig config = SmallRun(ProtocolKind::kFgmOpt, path);
+  ::fgm::Run(config, SmallTrace(config.sites));
+
+  bool corrupted = false;
+  const std::string tampered =
+      TamperFirst(path, "PlanOutcome", "actual_gain", "12345.5", &corrupted);
+  std::remove(path.c_str());
+  ASSERT_TRUE(corrupted);
+
+  std::istringstream in(tampered);
+  const ReplayReport report = CheckTrace(in);
+  EXPECT_FALSE(report.ok()) << "actual_gain must equal updates - words";
+}
+
 TEST(ReplayChecker, DetectsTamperedCounterTotal) {
   const std::string path = ::testing::TempDir() + "/replay_tamper.jsonl";
   const RunConfig config = SmallRun(ProtocolKind::kFgm, path);

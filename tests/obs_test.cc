@@ -2,7 +2,10 @@
 // FGM run, the metrics registry and its JSON export, and the JSONL event
 // schema (golden lines + parse round-trip).
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -12,6 +15,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/replay.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "query/query.h"
 #include "sketch/fast_agms.h"
@@ -190,6 +194,210 @@ TEST(JsonlSchema, GoldenEventLines) {
   EXPECT_EQ(JsonlTraceSink::EventJson(e),
             "{\"ev\":\"RunEnd\",\"seq\":4,\"events\":10,\"up_words\":100,"
             "\"down_words\":50,\"up_msgs\":7,\"down_msgs\":6}");
+}
+
+// JSON has no inf/nan literal; emitting them raw produces a document no
+// parser accepts. The writer serializes every non-finite double as null,
+// and the parsers on this side map null numeric fields back to NaN.
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::nan("");
+  EXPECT_EQ(JsonWriter::Number(inf), "null");
+  EXPECT_EQ(JsonWriter::Number(-inf), "null");
+  EXPECT_EQ(JsonWriter::Number(nan), "null");
+  EXPECT_EQ(JsonWriter::Number(1.5), "1.5");
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("x", nan);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"x\":null}");
+
+  // Both parsers read the null back as NaN.
+  std::map<std::string, JsonValue> flat;
+  std::string error;
+  ASSERT_TRUE(ParseFlatJsonObject("{\"x\":null}", &flat, &error)) << error;
+  EXPECT_EQ(flat.at("x").type, JsonValue::Type::kNull);
+
+  JsonNode node;
+  ASSERT_TRUE(ParseJson("{\"x\":null}", &node, &error)) << error;
+  const JsonNode* x = node.Find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_TRUE(std::isnan(x->AsDouble()));
+}
+
+// A trace event carrying a non-finite double must still produce a line
+// the replay parser accepts (the value comes back as NaN).
+TEST(JsonlSchema, NonFiniteEventFieldRoundTripsAsNull) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kPlanOutcome;
+  e.round = 3;
+  e.count = 10;
+  e.words = 4;
+  e.pred_gain = std::numeric_limits<double>::infinity();
+  e.actual_gain = 6.0;
+  const std::string line = JsonlTraceSink::EventJson(e);
+  EXPECT_NE(line.find("\"pred_gain\":null"), std::string::npos) << line;
+
+  TraceEvent parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTraceEventJson(line, &parsed, &error)) << error;
+  EXPECT_TRUE(std::isnan(parsed.pred_gain));
+  EXPECT_EQ(parsed.actual_gain, 6.0);
+}
+
+TEST(JsonParse, NestedDocuments) {
+  const std::string doc =
+      "{\"run\":{\"words\":12,\"cost\":0.5},"
+      "\"kinds\":[1,2,3],\"name\":\"fgm\",\"flag\":true,"
+      "\"nested\":[{\"a\":[]},{}]}";
+  JsonNode root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(doc, &root, &error)) << error;
+  ASSERT_EQ(root.type, JsonNode::Type::kObject);
+  // Member order is preserved.
+  ASSERT_EQ(root.members.size(), 5u);
+  EXPECT_EQ(root.members[0].first, "run");
+  EXPECT_EQ(root.members[4].first, "nested");
+
+  const JsonNode* run = root.Find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->Find("words")->AsInt(), 12);
+  EXPECT_DOUBLE_EQ(run->Find("cost")->AsDouble(), 0.5);
+
+  const JsonNode* kinds = root.Find("kinds");
+  ASSERT_NE(kinds, nullptr);
+  ASSERT_EQ(kinds->items.size(), 3u);
+  EXPECT_EQ(kinds->items[2].AsInt(), 3);
+
+  EXPECT_EQ(root.Find("name")->str, "fgm");
+  EXPECT_TRUE(root.Find("flag")->boolean);
+  EXPECT_EQ(root.Find("no_such_key"), nullptr);
+
+  // Malformed documents and trailing garbage are rejected.
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing", &root, &error));
+  EXPECT_FALSE(ParseJson("{\"a\":", &root, &error));
+  EXPECT_FALSE(ParseJson("[1,2,", &root, &error));
+  EXPECT_FALSE(ParseJson("", &root, &error));
+}
+
+TEST(TimeSeriesTest, RingBufferDropsOldestAndExportsJson) {
+  TimeSeries series(4);
+  for (int i = 0; i < 6; ++i) {
+    RunSnapshot s;
+    s.kind = i % 2 == 0 ? "round" : "interval";
+    s.records = 100 * (i + 1);
+    s.round = i + 1;
+    s.round_words = 10 + i;
+    s.words_by_kind[0] = 7;
+    series.Record(s);
+  }
+  EXPECT_EQ(series.samples_taken(), 6);
+  EXPECT_EQ(series.samples_dropped(), 2);
+  const auto samples = series.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().seq, 2) << "oldest two samples evicted";
+  EXPECT_EQ(samples.back().records, 600);
+
+  JsonWriter w;
+  series.WriteJson(&w);
+  JsonNode root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(w.str(), &root, &error)) << error;
+  EXPECT_EQ(root.Find("taken")->AsInt(), 6);
+  EXPECT_EQ(root.Find("dropped")->AsInt(), 2);
+  const JsonNode* out = root.Find("samples");
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->items.size(), 4u);
+  EXPECT_EQ(out->items[0].Find("seq")->AsInt(), 2);
+  EXPECT_EQ(out->items[0].Find("kind")->str, "round");
+  ASSERT_EQ(out->items[0].Find("words_by_kind")->items.size(),
+            static_cast<size_t>(kSnapshotMsgKinds));
+  EXPECT_EQ(out->items[0].Find("words_by_kind")->items[0].AsInt(), 7);
+}
+
+// FGM protocols feed the time series at round boundaries only; a short
+// multi-round run must produce one "round" sample per completed round,
+// with per-round word deltas summing to the cumulative count.
+TEST(TimeSeriesTest, FgmRunProducesRoundSamples) {
+  auto proj = std::make_shared<const AgmsProjection>(5, 100, 42);
+  SelfJoinQuery query(proj, 0.1);
+  TimeSeries series(1 << 14);
+  FgmConfig config;
+  config.timeseries = &series;
+  const int k = 4;
+  FgmProtocol protocol(&query, k, config);
+  Xoshiro256ss rng(11);
+  StreamRecord rec;
+  for (int i = 0; i < 40000; ++i) {
+    rec.site = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(k)));
+    rec.cid = rng.NextBounded(5000);
+    protocol.ProcessRecord(rec);
+  }
+  ASSERT_GT(protocol.rounds(), 1);
+  EXPECT_EQ(series.samples_taken(), protocol.rounds() - 1)
+      << "one sample per completed round";
+  int64_t delta_sum = 0;
+  int64_t prev_total = 0;
+  for (const RunSnapshot& s : series.Samples()) {
+    EXPECT_STREQ(s.kind, "round");
+    // The boundary snapshot reads ψ after the final counter collection has
+    // pushed it past the termination threshold, so it may be positive; it
+    // must only be finite.
+    EXPECT_TRUE(std::isfinite(s.psi));
+    EXPECT_GE(s.total_words, prev_total) << "cumulative words are monotone";
+    prev_total = s.total_words;
+    delta_sum += s.round_words;
+    int64_t kind_sum = 0;
+    for (const int64_t v : s.round_words_by_kind) kind_sum += v;
+    EXPECT_EQ(kind_sum, s.round_words) << "per-kind deltas cover the round";
+    EXPECT_GE(s.site_updates_max, 0);
+    EXPECT_GE(s.drift_norm_max, 0.0);
+  }
+  EXPECT_EQ(delta_sum, series.Samples().back().total_words)
+      << "round deltas sum to the last cumulative total";
+}
+
+// Golden lines for the FGM/O plan-audit events (same contract discipline
+// as GoldenEventLines above).
+TEST(JsonlSchema, GoldenPlanAuditLines) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kPlanChosen;
+  e.seq = 5;
+  e.round = 7;
+  e.counter = 3;
+  e.k = 4;
+  e.pred_len = 2.5;
+  e.pred_gain = 10.0;
+  e.pred_rate = 4.0;
+  EXPECT_EQ(JsonlTraceSink::EventJson(e),
+            "{\"ev\":\"PlanChosen\",\"seq\":5,\"round\":7,\"full_sites\":3,"
+            "\"k\":4,\"pred_len\":2.5,\"pred_gain\":10,\"pred_rate\":4}");
+
+  e = TraceEvent();
+  e.kind = TraceEventKind::kPlanSite;
+  e.seq = 6;
+  e.round = 7;
+  e.site = 2;
+  e.counter = 1;
+  e.alpha = 0.25;
+  e.beta = 0.5;
+  e.gamma = 0.75;
+  EXPECT_EQ(JsonlTraceSink::EventJson(e),
+            "{\"ev\":\"PlanSite\",\"seq\":6,\"round\":7,\"site\":2,\"d\":1,"
+            "\"alpha\":0.25,\"beta\":0.5,\"gamma\":0.75}");
+
+  e = TraceEvent();
+  e.kind = TraceEventKind::kPlanOutcome;
+  e.seq = 8;
+  e.round = 7;
+  e.count = 100;
+  e.words = 40;
+  e.pred_gain = 55.0;
+  e.actual_gain = 60.0;
+  EXPECT_EQ(JsonlTraceSink::EventJson(e),
+            "{\"ev\":\"PlanOutcome\",\"seq\":8,\"round\":7,\"updates\":100,"
+            "\"words\":40,\"pred_gain\":55,\"actual_gain\":60}");
 }
 
 TEST(JsonlSchema, ParseRoundTripsBitExactly) {

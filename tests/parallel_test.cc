@@ -11,11 +11,16 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/runner.h"
 #include "exec/thread_pool.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "safezone/ball.h"
 #include "safezone/safe_function.h"
@@ -241,6 +246,81 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(ProtocolKind::kGm, QueryKind::kSelfJoin),
         std::make_tuple(ProtocolKind::kGm, QueryKind::kJoin)),
     ParallelParamName);
+
+// The run-health time series must also be bit-identical for every thread
+// count: round samples land at round boundaries (deterministic by the
+// trace equality above) and interval samples at --snapshot_every record
+// counts, which the parallel runner aligns its chunks to.
+TEST(ParallelDeterminism, TimeSeriesBitIdenticalAcrossThreadCounts) {
+  auto run_series = [](int threads) {
+    RunConfig config;
+    config.protocol = ProtocolKind::kFgm;
+    config.query = QueryKind::kSelfJoin;
+    config.sites = 5;
+    config.depth = 5;
+    config.width = 60;
+    config.threads = threads;
+    config.snapshot_every = 7000;
+    TimeSeries series(1 << 14);
+    config.timeseries = &series;
+
+    WorldCupConfig wc;
+    wc.sites = config.sites;
+    wc.total_updates = 30000;
+    ::fgm::Run(config, GenerateWorldCupTrace(wc));
+
+    JsonWriter w;
+    series.WriteJson(&w);
+    return w.Take();
+  };
+  const std::string serial = run_series(1);
+  EXPECT_NE(serial.find("\"kind\":\"interval\""), std::string::npos)
+      << "snapshot_every must produce interval samples";
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(serial, run_series(threads)) << "threads=" << threads;
+  }
+}
+
+// Parallel runs publish speculation accounting through the metrics
+// registry at window granularity; the serial path must publish none.
+TEST(ParallelDeterminism, SpeculationMetricsPublishedAtWindowGranularity) {
+  auto run_metrics = [](int threads) {
+    RunConfig config;
+    config.protocol = ProtocolKind::kFgm;
+    config.query = QueryKind::kSelfJoin;
+    config.sites = 5;
+    config.depth = 5;
+    config.width = 60;
+    config.threads = threads;
+    auto metrics = std::make_unique<MetricsRegistry>();
+    config.metrics = metrics.get();
+
+    WorldCupConfig wc;
+    wc.sites = config.sites;
+    wc.total_updates = 30000;
+    const RunResult r = ::fgm::Run(config, GenerateWorldCupTrace(wc));
+    return std::make_pair(std::move(metrics), r);
+  };
+  auto [parallel, r] = run_metrics(4);
+  EXPECT_EQ(parallel->GetCounter("spec_windows")->value(),
+            r.parallel_windows);
+  EXPECT_EQ(parallel->GetCounter("spec_barriers")->value(),
+            r.parallel_barriers);
+  EXPECT_EQ(parallel->GetCounter("spec_records_replayed")->value(),
+            r.replayed_records);
+  EXPECT_EQ(parallel->GetCounter("spec_records_committed")->value(),
+            r.events);
+  EXPECT_GE(parallel->GetCounter("spec_records_speculated")->value(),
+            parallel->GetCounter("spec_records_committed")->value());
+  // Wasted work = speculated beyond the committed prefix; re-derivable.
+  EXPECT_EQ(parallel->GetCounter("spec_records_speculated")->value() -
+                parallel->GetCounter("spec_records_committed")->value(),
+            parallel->GetCounter("spec_records_wasted")->value());
+
+  auto [serial, rs] = run_metrics(1);
+  EXPECT_EQ(serial->GetCounter("spec_windows")->value(), 0)
+      << "serial path publishes no speculation metrics";
+}
 
 TEST(ParallelDeterminism, CentralFallsBackToSerial) {
   // CENTRAL has no sharded implementation; --threads must degrade to the

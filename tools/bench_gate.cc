@@ -1,0 +1,214 @@
+// CI bench regression gate.
+//
+//   ./build/tools/bench_gate --baseline=bench/baselines/BENCH_x.json
+//       --current=BENCH_x.json [--tol=0.02] [--time_tol=0] [--verbose]
+//
+// Diffs two BENCH_*.json reports (bench/bench_common.h JsonReport format:
+// {"bench": name, "runs": [{"x": label, ...fields...}], "scalars": {...}}).
+// Runs are matched by their "x" label; every numeric field present in the
+// baseline must exist in the current report and stay within the relative
+// tolerance; string fields (protocol, query) must match exactly.
+//
+// Time-like fields — name contains "wall", "second", "speedup", "per_sec"
+// or "ns_per" — are machine-dependent, so they are skipped unless
+// --time_tol > 0 is given, in which case they are gated at that (looser)
+// tolerance. Everything else (rounds, words, windows, barriers, replayed
+// records...) is deterministic for a fixed seed and gated at --tol;
+// --tol=0 demands bit-exact equality.
+//
+// Exit: 0 = within tolerance, 1 = regression / missing data,
+// 2 = usage or parse error.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/flags.h"
+
+namespace {
+
+bool ReadJsonFile(const std::string& path, fgm::JsonNode* out,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return fgm::ParseJson(text.str(), out, error);
+}
+
+bool IsTimeLike(const std::string& name) {
+  for (const char* marker :
+       {"wall", "second", "speedup", "per_sec", "ns_per"}) {
+    if (name.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+struct Gate {
+  double tol = 0.02;
+  double time_tol = 0.0;  ///< 0 = skip time-like fields entirely
+  bool verbose = false;
+  int64_t compared = 0;
+  int64_t skipped = 0;
+  std::vector<std::string> failures;
+
+  void Fail(const std::string& what) { failures.push_back(what); }
+
+  /// Relative comparison: |cur - base| <= tol * max(|base|, 1e-12).
+  void Number(const std::string& where, const std::string& name, double base,
+              double cur) {
+    double limit = tol;
+    if (IsTimeLike(name)) {
+      if (time_tol <= 0.0) {
+        ++skipped;
+        return;
+      }
+      limit = time_tol;
+    }
+    ++compared;
+    const double scale = std::max(std::fabs(base), 1e-12);
+    const double rel = std::fabs(cur - base) / scale;
+    const bool ok = rel <= limit;
+    if (verbose || !ok) {
+      std::printf("%s %s.%s: base=%.6g cur=%.6g rel=%.4g (tol %.4g)\n",
+                  ok ? "ok  " : "FAIL", where.c_str(), name.c_str(), base,
+                  cur, rel, limit);
+    }
+    if (!ok) {
+      Fail(where + "." + name + " drifted beyond tolerance");
+    }
+  }
+
+  void CompareMembers(const std::string& where, const fgm::JsonNode& base,
+                      const fgm::JsonNode& cur) {
+    for (const auto& [name, bval] : base.members) {
+      const fgm::JsonNode* cval = cur.Find(name);
+      if (cval == nullptr) {
+        Fail(where + "." + name + " missing from current report");
+        continue;
+      }
+      if (bval.type == fgm::JsonNode::Type::kNumber) {
+        if (cval->type != fgm::JsonNode::Type::kNumber) {
+          Fail(where + "." + name + " is no longer numeric");
+          continue;
+        }
+        Number(where, name, bval.AsDouble(), cval->AsDouble());
+      } else if (bval.type == fgm::JsonNode::Type::kString) {
+        ++compared;
+        if (cval->type != fgm::JsonNode::Type::kString ||
+            cval->str != bval.str) {
+          Fail(where + "." + name + ": \"" + bval.str + "\" != \"" +
+               (cval->type == fgm::JsonNode::Type::kString ? cval->str
+                                                           : "<non-string>") +
+               "\"");
+        }
+      }
+      // Nested objects/arrays inside a run are not part of the format.
+    }
+  }
+};
+
+const fgm::JsonNode* FindRun(const fgm::JsonNode& runs,
+                             const std::string& label) {
+  for (const fgm::JsonNode& run : runs.items) {
+    const fgm::JsonNode* x = run.Find("x");
+    if (x != nullptr && x->type == fgm::JsonNode::Type::kString &&
+        x->str == label) {
+      return &run;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fgm::Flags flags(argc, argv);
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const std::string current_path = flags.GetString("current", "");
+  Gate gate;
+  gate.tol = flags.GetDouble("tol", 0.02);
+  gate.time_tol = flags.GetDouble("time_tol", 0.0);
+  gate.verbose = flags.GetBool("verbose", false);
+  const std::vector<std::string> unknown = flags.Unparsed();
+  if (!unknown.empty() || baseline_path.empty() || current_path.empty()) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    }
+    std::fprintf(stderr,
+                 "usage: bench_gate --baseline=BENCH_x.json "
+                 "--current=BENCH_x.json [--tol=0.02] [--time_tol=0] "
+                 "[--verbose]\n");
+    return 2;
+  }
+
+  fgm::JsonNode baseline, current;
+  std::string error;
+  if (!ReadJsonFile(baseline_path, &baseline, &error)) {
+    std::fprintf(stderr, "bench_gate: %s: %s\n", baseline_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!ReadJsonFile(current_path, &current, &error)) {
+    std::fprintf(stderr, "bench_gate: %s: %s\n", current_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  const fgm::JsonNode* base_name = baseline.Find("bench");
+  const fgm::JsonNode* cur_name = current.Find("bench");
+  if (base_name == nullptr || cur_name == nullptr ||
+      base_name->str != cur_name->str) {
+    std::fprintf(stderr, "bench_gate: bench name mismatch (\"%s\" vs \"%s\")\n",
+                 base_name != nullptr ? base_name->str.c_str() : "?",
+                 cur_name != nullptr ? cur_name->str.c_str() : "?");
+    return 1;
+  }
+
+  const fgm::JsonNode* base_runs = baseline.Find("runs");
+  const fgm::JsonNode* cur_runs = current.Find("runs");
+  if (base_runs != nullptr && cur_runs != nullptr) {
+    for (const fgm::JsonNode& run : base_runs->items) {
+      const fgm::JsonNode* x = run.Find("x");
+      const std::string label =
+          x != nullptr && x->type == fgm::JsonNode::Type::kString ? x->str
+                                                                  : "?";
+      const fgm::JsonNode* cur_run = FindRun(*cur_runs, label);
+      if (cur_run == nullptr) {
+        gate.Fail("run \"" + label + "\" missing from current report");
+        continue;
+      }
+      gate.CompareMembers("run[" + label + "]", run, *cur_run);
+    }
+  } else if (base_runs != nullptr) {
+    gate.Fail("current report has no runs array");
+  }
+
+  const fgm::JsonNode* base_scalars = baseline.Find("scalars");
+  const fgm::JsonNode* cur_scalars = current.Find("scalars");
+  if (base_scalars != nullptr) {
+    if (cur_scalars == nullptr) {
+      gate.Fail("current report has no scalars object");
+    } else {
+      gate.CompareMembers("scalars", *base_scalars, *cur_scalars);
+    }
+  }
+
+  std::printf(
+      "bench_gate %s: %lld comparisons, %lld time-like skipped, %zu "
+      "failures\n",
+      base_name->str.c_str(), static_cast<long long>(gate.compared),
+      static_cast<long long>(gate.skipped), gate.failures.size());
+  for (const std::string& f : gate.failures) {
+    std::printf("FAIL: %s\n", f.c_str());
+  }
+  return gate.failures.empty() ? 0 : 1;
+}

@@ -1,0 +1,816 @@
+// Offline run-report analyzer.
+//
+//   ./build/tools/fgm_report --trace=trace.jsonl [--metrics=metrics.json]
+//       [--timeseries=ts.json] [--json_out=report.json] [--max_rounds=24]
+//       [--check=true]
+//
+// Renders the observability triple a runner invocation writes
+// (--trace_out / --metrics_out / --timeseries_out) into a human-readable
+// run report: per-round communication table, site-skew summary, FGM/O
+// optimizer audit (predicted vs actual gain per round) and parallel
+// speculation efficiency. With --json_out the same report is written as
+// machine-readable JSON.
+//
+// The three files describe one run three ways, so the report cross-checks
+// them against each other bit-exactly (the trace_check discipline):
+//
+//  * the trace replays clean through obs/replay.h;
+//  * per-round MsgSent word sums re-add to the RunEnd traffic totals;
+//  * each PlanOutcome's words/updates/actual_gain match the per-round sums;
+//  * metrics.json's run totals and words_by_kind equal the trace's;
+//  * every time-series round sample's cumulative and per-round word counts
+//    (total and per message kind), subround count and plan-audit numbers
+//    equal the values recomputed from the trace.
+//
+// Exit: 0 = all checks pass, 1 = a cross-check failed (suppress with
+// --check=false), 2 = usage / file / parse error.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "obs/json.h"
+#include "obs/replay.h"
+#include "obs/trace.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr int kKinds = static_cast<int>(fgm::MsgKind::kKindCount);
+
+std::string Format(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// Everything the report recomputes for one protocol round. MsgSent
+/// events are attributed to the round whose RoundStart most recently
+/// preceded them in the stream; the plan-audit events carry their round
+/// explicitly.
+struct RoundStats {
+  int64_t round = 0;
+  int64_t msgs = 0;
+  int64_t up_words = 0;
+  int64_t down_words = 0;
+  std::array<int64_t, kKinds> words_by_kind{};
+  int64_t subrounds = 0;
+  int64_t rebalances = 0;
+  double psi_start = 0.0;
+
+  bool has_plan = false;  ///< saw PlanChosen
+  int64_t full_sites = 0;
+  double pred_len = 0.0;
+  double pred_gain = 0.0;
+  double pred_rate = 0.0;
+
+  bool has_outcome = false;  ///< saw PlanOutcome
+  int64_t updates = 0;
+  int64_t outcome_words = 0;
+  double outcome_pred_gain = 0.0;
+  double actual_gain = 0.0;
+
+  int64_t words() const { return up_words + down_words; }
+};
+
+struct SiteStats {
+  int64_t flush_words = 0;
+  int64_t flush_updates = 0;
+  int64_t flushes = 0;
+  int64_t increments = 0;
+};
+
+/// The whole trace, re-aggregated. rounds[0] is a pre-round bucket for
+/// messages sent before the first RoundStart (empty for FGM; CENTRAL has
+/// no rounds at all); rounds[r] is protocol round r.
+struct TraceSummary {
+  std::string protocol = "?";
+  int k = 0;
+  int64_t lines = 0;
+  std::vector<RoundStats> rounds;
+  std::vector<SiteStats> sites;
+
+  bool saw_run_end = false;
+  int64_t run_events = 0;  ///< RunEnd's count: total trace events emitted
+  int64_t run_up_words = 0;
+  int64_t run_down_words = 0;
+  int64_t run_up_msgs = 0;
+  int64_t run_down_msgs = 0;
+
+  RoundStats& Round(int64_t r) {
+    if (r < 0) r = 0;
+    if (static_cast<size_t>(r) >= rounds.size()) {
+      const size_t old = rounds.size();
+      rounds.resize(static_cast<size_t>(r) + 1);
+      for (size_t i = old; i < rounds.size(); ++i) {
+        rounds[i].round = static_cast<int64_t>(i);
+      }
+    }
+    return rounds[static_cast<size_t>(r)];
+  }
+
+  SiteStats& Site(int site) {
+    if (site < 0) site = 0;
+    if (static_cast<size_t>(site) >= sites.size()) {
+      sites.resize(static_cast<size_t>(site) + 1);
+    }
+    return sites[static_cast<size_t>(site)];
+  }
+
+  /// Completed-round count = highest round number seen.
+  int64_t last_round() const {
+    return rounds.empty() ? 0 : rounds.back().round;
+  }
+};
+
+/// Maps a MsgSent label back to its MsgKind slot; -1 for unknown labels.
+int KindIndex(const char* label) {
+  if (label == nullptr) return -1;
+  for (int i = 0; i < kKinds; ++i) {
+    if (std::strcmp(label, fgm::MsgKindName(static_cast<fgm::MsgKind>(i))) ==
+        0) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+bool ReadTrace(const std::string& path, TraceSummary* out,
+               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  int64_t current_round = 0;  // bucket 0 until the first RoundStart
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    fgm::TraceEvent e;
+    std::string parse_error;
+    if (!fgm::ParseTraceEventJson(line, &e, &parse_error)) {
+      *error = Format("line %lld: %s", static_cast<long long>(out->lines + 1),
+                      parse_error.c_str());
+      return false;
+    }
+    ++out->lines;
+    switch (e.kind) {
+      case fgm::TraceEventKind::kRunStart:
+        out->protocol = e.label != nullptr ? e.label : "?";
+        out->k = e.k;
+        break;
+      case fgm::TraceEventKind::kRoundStart: {
+        current_round = e.round;
+        out->Round(e.round).psi_start = e.psi;
+        break;
+      }
+      case fgm::TraceEventKind::kSubroundStart:
+        ++out->Round(e.round).subrounds;
+        break;
+      case fgm::TraceEventKind::kSubroundEnd:
+        break;
+      case fgm::TraceEventKind::kIncrementMsg:
+        ++out->Site(e.site).increments;
+        break;
+      case fgm::TraceEventKind::kDriftFlush: {
+        SiteStats& s = out->Site(e.site);
+        ++s.flushes;
+        s.flush_words += e.words;
+        s.flush_updates += e.count;
+        break;
+      }
+      case fgm::TraceEventKind::kRebalance:
+        ++out->Round(e.round).rebalances;
+        break;
+      case fgm::TraceEventKind::kThresholdCross:
+        break;
+      case fgm::TraceEventKind::kMsgSent: {
+        RoundStats& r = out->Round(current_round);
+        ++r.msgs;
+        if (e.dir > 0) {
+          r.up_words += e.words;
+        } else {
+          r.down_words += e.words;
+        }
+        const int kind = KindIndex(e.label);
+        if (kind >= 0) r.words_by_kind[static_cast<size_t>(kind)] += e.words;
+        break;
+      }
+      case fgm::TraceEventKind::kPlanChosen: {
+        RoundStats& r = out->Round(e.round);
+        r.has_plan = true;
+        r.full_sites = e.counter;
+        r.pred_len = e.pred_len;
+        r.pred_gain = e.pred_gain;
+        r.pred_rate = e.pred_rate;
+        break;
+      }
+      case fgm::TraceEventKind::kPlanSite:
+        break;
+      case fgm::TraceEventKind::kPlanOutcome: {
+        RoundStats& r = out->Round(e.round);
+        r.has_outcome = true;
+        r.updates = e.count;
+        r.outcome_words = e.words;
+        r.outcome_pred_gain = e.pred_gain;
+        r.actual_gain = e.actual_gain;
+        break;
+      }
+      case fgm::TraceEventKind::kRunEnd:
+        out->saw_run_end = true;
+        out->run_events = e.count;
+        out->run_up_words = e.up_words;
+        out->run_down_words = e.down_words;
+        out->run_up_msgs = e.up_msgs;
+        out->run_down_msgs = e.down_msgs;
+        break;
+      case fgm::TraceEventKind::kKindCount:
+        break;
+    }
+  }
+  if (out->rounds.empty()) out->Round(0);
+  return true;
+}
+
+bool ReadJsonFile(const std::string& path, fgm::JsonNode* out,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return fgm::ParseJson(text.str(), out, error);
+}
+
+/// Collects cross-check failures; every Check* helper appends here.
+struct Checker {
+  int64_t performed = 0;
+  std::vector<std::string> failures;
+
+  void Expect(bool ok, const std::string& what) {
+    ++performed;
+    if (!ok) failures.push_back(what);
+  }
+  void ExpectEqInt(int64_t got, int64_t want, const std::string& what) {
+    Expect(got == want,
+           Format("%s: %lld != %lld", what.c_str(),
+                  static_cast<long long>(got), static_cast<long long>(want)));
+  }
+  void ExpectEqDouble(double got, double want, const std::string& what) {
+    // Bit-exact by design: both sides round-trip through %.17g.
+    Expect(got == want || (std::isnan(got) && std::isnan(want)),
+           Format("%s: %.17g != %.17g", what.c_str(), got, want));
+  }
+  bool ok() const { return failures.empty(); }
+};
+
+/// Trace-internal checks: the per-round ledger must re-add to the RunEnd
+/// totals, and every PlanOutcome must restate its round's sums.
+void CheckTraceInternal(const TraceSummary& t, Checker* c) {
+  c->Expect(t.saw_run_end, "trace has no RunEnd event");
+  int64_t up = 0, down = 0, msgs = 0;
+  for (const RoundStats& r : t.rounds) {
+    up += r.up_words;
+    down += r.down_words;
+    msgs += r.msgs;
+  }
+  if (t.saw_run_end) {
+    c->ExpectEqInt(up, t.run_up_words, "sum of per-round upstream words");
+    c->ExpectEqInt(down, t.run_down_words,
+                   "sum of per-round downstream words");
+    c->ExpectEqInt(msgs, t.run_up_msgs + t.run_down_msgs,
+                   "sum of per-round message counts");
+  }
+  for (const RoundStats& r : t.rounds) {
+    if (!r.has_outcome) continue;
+    const std::string tag = Format("round %lld", (long long)r.round);
+    c->ExpectEqInt(r.outcome_words, r.words(),
+                   tag + " PlanOutcome words vs summed MsgSent words");
+    c->ExpectEqDouble(r.actual_gain,
+                      static_cast<double>(r.updates) -
+                          static_cast<double>(r.outcome_words),
+                      tag + " PlanOutcome actual_gain vs updates - words");
+    if (r.has_plan) {
+      c->ExpectEqDouble(r.outcome_pred_gain, r.pred_gain,
+                        tag + " PlanOutcome pred_gain vs PlanChosen");
+    }
+  }
+}
+
+/// metrics.json carries the same run totals the trace's RunEnd does.
+void CheckMetrics(const TraceSummary& t, const fgm::JsonNode& m, Checker* c) {
+  const fgm::JsonNode* run = m.Find("run");
+  c->Expect(run != nullptr, "metrics.json has no \"run\" object");
+  if (run == nullptr) return;
+  const fgm::JsonNode* total = run->Find("total_words");
+  c->Expect(total != nullptr, "metrics.json run has no total_words");
+  if (total != nullptr) {
+    c->ExpectEqInt(total->AsInt(), t.run_up_words + t.run_down_words,
+                   "metrics run.total_words vs trace RunEnd");
+  }
+  const fgm::JsonNode* rounds = run->Find("rounds");
+  if (rounds != nullptr && t.last_round() > 0) {
+    c->ExpectEqInt(rounds->AsInt(), t.last_round(),
+                   "metrics run.rounds vs trace RoundStart count");
+  }
+  const fgm::JsonNode* by_kind = m.Find("words_by_kind");
+  c->Expect(by_kind != nullptr, "metrics.json has no words_by_kind");
+  if (by_kind != nullptr) {
+    for (int i = 0; i < kKinds; ++i) {
+      const char* name = fgm::MsgKindName(static_cast<fgm::MsgKind>(i));
+      int64_t trace_sum = 0;
+      for (const RoundStats& r : t.rounds) {
+        trace_sum += r.words_by_kind[static_cast<size_t>(i)];
+      }
+      const fgm::JsonNode* v = by_kind->Find(name);
+      c->Expect(v != nullptr,
+                Format("metrics words_by_kind missing \"%s\"", name));
+      if (v != nullptr) {
+        c->ExpectEqInt(v->AsInt(), trace_sum,
+                       Format("metrics words_by_kind[%s] vs trace", name));
+      }
+    }
+  }
+}
+
+/// Every retained round sample must restate the trace's per-round and
+/// cumulative ledgers bit-exactly (same booking instants by construction).
+void CheckTimeSeries(const TraceSummary& t, const fgm::JsonNode& ts,
+                     Checker* c, int64_t* round_samples,
+                     int64_t* interval_samples) {
+  const fgm::JsonNode* samples = ts.Find("samples");
+  c->Expect(samples != nullptr && samples->type == fgm::JsonNode::Type::kArray,
+            "timeseries has no samples array");
+  if (samples == nullptr) return;
+
+  // Cumulative word prefix sums per round, matching the protocol's booking
+  // instants (prefix[r] = words shipped through the end of round r).
+  const size_t n = t.rounds.size();
+  std::vector<int64_t> prefix_words(n, 0);
+  std::vector<std::array<int64_t, kKinds>> prefix_kind(n);
+  std::vector<int64_t> prefix_subrounds(n, 0);
+  int64_t acc = 0, acc_sub = 0;
+  std::array<int64_t, kKinds> acc_kind{};
+  for (size_t r = 0; r < n; ++r) {
+    acc += t.rounds[r].words();
+    acc_sub += t.rounds[r].subrounds;
+    for (int i = 0; i < kKinds; ++i) {
+      acc_kind[static_cast<size_t>(i)] +=
+          t.rounds[r].words_by_kind[static_cast<size_t>(i)];
+    }
+    prefix_words[r] = acc;
+    prefix_kind[r] = acc_kind;
+    prefix_subrounds[r] = acc_sub;
+  }
+
+  int64_t prev_records = -1;
+  for (const fgm::JsonNode& s : samples->items) {
+    const fgm::JsonNode* kind = s.Find("kind");
+    const bool is_round =
+        kind != nullptr && kind->type == fgm::JsonNode::Type::kString &&
+        kind->str == "round";
+    const int64_t records =
+        s.Find("records") != nullptr ? s.Find("records")->AsInt() : 0;
+    c->Expect(records >= prev_records,
+              Format("timeseries records not monotone at sample %lld",
+                     (long long)(s.Find("seq") ? s.Find("seq")->AsInt() : -1)));
+    prev_records = records;
+    if (!is_round) {
+      ++*interval_samples;
+      continue;
+    }
+    ++*round_samples;
+    const int64_t round = s.Find("round") ? s.Find("round")->AsInt() : -1;
+    const std::string tag = Format("timeseries round %lld", (long long)round);
+    c->Expect(round >= 1 && static_cast<size_t>(round) < n,
+              tag + " out of trace range");
+    if (round < 1 || static_cast<size_t>(round) >= n) continue;
+    const RoundStats& r = t.rounds[static_cast<size_t>(round)];
+    c->ExpectEqInt(s.Find("round_words") ? s.Find("round_words")->AsInt() : -1,
+                   r.words(), tag + " round_words vs trace");
+    c->ExpectEqInt(s.Find("total_words") ? s.Find("total_words")->AsInt() : -1,
+                   prefix_words[static_cast<size_t>(round)],
+                   tag + " total_words vs trace prefix");
+    c->ExpectEqInt(s.Find("subrounds") ? s.Find("subrounds")->AsInt() : -1,
+                   r.subrounds, tag + " subrounds vs trace");
+    c->ExpectEqInt(
+        s.Find("total_subrounds") ? s.Find("total_subrounds")->AsInt() : -1,
+        prefix_subrounds[static_cast<size_t>(round)],
+        tag + " total_subrounds vs trace prefix");
+    const fgm::JsonNode* cum = s.Find("words_by_kind");
+    const fgm::JsonNode* delta = s.Find("round_words_by_kind");
+    c->Expect(cum != nullptr && delta != nullptr &&
+                  cum->items.size() == static_cast<size_t>(kKinds) &&
+                  delta->items.size() == static_cast<size_t>(kKinds),
+              tag + " kind arrays missing or wrong length");
+    if (cum != nullptr && delta != nullptr &&
+        cum->items.size() == static_cast<size_t>(kKinds) &&
+        delta->items.size() == static_cast<size_t>(kKinds)) {
+      for (int i = 0; i < kKinds; ++i) {
+        const char* name = fgm::MsgKindName(static_cast<fgm::MsgKind>(i));
+        c->ExpectEqInt(
+            cum->items[static_cast<size_t>(i)].AsInt(),
+            prefix_kind[static_cast<size_t>(round)][static_cast<size_t>(i)],
+            tag + Format(" words_by_kind[%s] vs trace prefix", name));
+        c->ExpectEqInt(delta->items[static_cast<size_t>(i)].AsInt(),
+                       r.words_by_kind[static_cast<size_t>(i)],
+                       tag + Format(" round_words_by_kind[%s] vs trace", name));
+      }
+    }
+    if (r.has_outcome) {
+      c->ExpectEqDouble(
+          s.Find("actual_gain") ? s.Find("actual_gain")->AsDouble() : 0.0,
+          r.actual_gain, tag + " actual_gain vs PlanOutcome");
+      c->ExpectEqDouble(
+          s.Find("pred_gain") ? s.Find("pred_gain")->AsDouble() : 0.0,
+          r.outcome_pred_gain, tag + " pred_gain vs PlanOutcome");
+    }
+    if (r.has_plan) {
+      c->ExpectEqInt(
+          s.Find("plan_full_sites") ? s.Find("plan_full_sites")->AsInt() : -1,
+          r.full_sites, tag + " plan_full_sites vs PlanChosen");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering.
+
+void PrintHeader(const std::string& path, const TraceSummary& t) {
+  fgm::PrintBanner("FGM run report: " + path);
+  int64_t msgs = 0;
+  for (const RoundStats& r : t.rounds) msgs += r.msgs;
+  std::printf(
+      "protocol %s  k=%d  trace-events=%lld  rounds=%lld  messages=%lld\n"
+      "words: total=%lld  upstream=%lld  downstream=%lld\n",
+      t.protocol.c_str(), t.k, static_cast<long long>(t.run_events),
+      static_cast<long long>(t.last_round()), static_cast<long long>(msgs),
+      static_cast<long long>(t.run_up_words + t.run_down_words),
+      static_cast<long long>(t.run_up_words),
+      static_cast<long long>(t.run_down_words));
+}
+
+void PrintRoundTable(const TraceSummary& t, int64_t max_rounds) {
+  if (t.last_round() == 0) return;
+  fgm::PrintBanner("Per-round communication");
+  fgm::TablePrinter table({"round", "subr", "rebal", "msgs", "words", "up",
+                           "down", "safe-zone", "quantum", "counter",
+                           "phi-value", "drift-flush", "other"});
+  const int64_t first =
+      std::max<int64_t>(1, t.last_round() - max_rounds + 1);
+  if (first > 1) {
+    std::printf("(showing the last %lld of %lld rounds)\n",
+                static_cast<long long>(t.last_round() - first + 1),
+                static_cast<long long>(t.last_round()));
+  }
+  for (size_t i = static_cast<size_t>(first); i < t.rounds.size(); ++i) {
+    const RoundStats& r = t.rounds[i];
+    auto kind = [&r](fgm::MsgKind k) {
+      return fgm::TablePrinter::Cell(
+          r.words_by_kind[static_cast<size_t>(k)]);
+    };
+    int64_t other = r.words();
+    for (fgm::MsgKind k :
+         {fgm::MsgKind::kSafeZone, fgm::MsgKind::kQuantum,
+          fgm::MsgKind::kCounter, fgm::MsgKind::kPhiValue,
+          fgm::MsgKind::kDriftFlush}) {
+      other -= r.words_by_kind[static_cast<size_t>(k)];
+    }
+    table.AddRow({fgm::TablePrinter::Cell(r.round),
+                  fgm::TablePrinter::Cell(r.subrounds),
+                  fgm::TablePrinter::Cell(r.rebalances),
+                  fgm::TablePrinter::Cell(r.msgs),
+                  fgm::TablePrinter::Cell(r.words()),
+                  fgm::TablePrinter::Cell(r.up_words),
+                  fgm::TablePrinter::Cell(r.down_words),
+                  kind(fgm::MsgKind::kSafeZone), kind(fgm::MsgKind::kQuantum),
+                  kind(fgm::MsgKind::kCounter), kind(fgm::MsgKind::kPhiValue),
+                  kind(fgm::MsgKind::kDriftFlush),
+                  fgm::TablePrinter::Cell(other)});
+  }
+  table.Print();
+}
+
+void PrintSiteSkew(const TraceSummary& t) {
+  if (t.sites.empty()) return;
+  fgm::PrintBanner("Site skew (drift flushes)");
+  int64_t total_updates = 0, total_words = 0;
+  int64_t max_updates = 0, max_words = 0;
+  int hot_updates = -1, hot_words = -1;
+  for (size_t i = 0; i < t.sites.size(); ++i) {
+    const SiteStats& s = t.sites[i];
+    total_updates += s.flush_updates;
+    total_words += s.flush_words;
+    if (s.flush_updates > max_updates) {
+      max_updates = s.flush_updates;
+      hot_updates = static_cast<int>(i);
+    }
+    if (s.flush_words > max_words) {
+      max_words = s.flush_words;
+      hot_words = static_cast<int>(i);
+    }
+  }
+  const double n = static_cast<double>(t.sites.size());
+  std::printf(
+      "sites=%zu  flushed updates: mean=%.1f max=%lld (site %d, %.2fx mean)\n"
+      "flush words: mean=%.1f max=%lld (site %d)\n",
+      t.sites.size(), static_cast<double>(total_updates) / n,
+      static_cast<long long>(max_updates), hot_updates,
+      total_updates > 0
+          ? static_cast<double>(max_updates) * n /
+                static_cast<double>(total_updates)
+          : 0.0,
+      static_cast<double>(total_words) / n, static_cast<long long>(max_words),
+      hot_words);
+}
+
+void PrintOptimizerAudit(const TraceSummary& t, int64_t max_rounds) {
+  int64_t outcomes = 0;
+  for (const RoundStats& r : t.rounds) outcomes += r.has_outcome ? 1 : 0;
+  if (outcomes == 0) return;
+  fgm::PrintBanner("FGM/O plan audit: predicted vs actual gain");
+  fgm::TablePrinter table({"round", "full", "pred_len", "pred_gain",
+                           "actual_gain", "abs_err", "rel_err"});
+  double sum_abs = 0.0, sum_rel = 0.0, max_abs = 0.0;
+  int64_t shown = 0, audited = 0;
+  for (const RoundStats& r : t.rounds) {
+    if (!r.has_outcome) continue;
+    const double err = std::fabs(r.outcome_pred_gain - r.actual_gain);
+    const double rel = err / std::max(std::fabs(r.actual_gain), 1.0);
+    ++audited;
+    sum_abs += err;
+    sum_rel += rel;
+    max_abs = std::max(max_abs, err);
+    if (outcomes - audited < max_rounds && shown < max_rounds) {
+      ++shown;
+      table.AddRow({fgm::TablePrinter::Cell(r.round),
+                    fgm::TablePrinter::Cell(r.full_sites),
+                    fgm::TablePrinter::Cell(r.pred_len),
+                    fgm::TablePrinter::Cell(r.outcome_pred_gain),
+                    fgm::TablePrinter::Cell(r.actual_gain),
+                    fgm::TablePrinter::Cell(err),
+                    fgm::TablePrinter::Cell(rel)});
+    }
+  }
+  if (shown < outcomes) {
+    std::printf("(showing the last %lld of %lld audited rounds)\n",
+                static_cast<long long>(shown),
+                static_cast<long long>(outcomes));
+  }
+  table.Print();
+  std::printf(
+      "gain prediction error: mean_abs=%.4g max_abs=%.4g mean_rel=%.4g "
+      "over %lld rounds\n",
+      sum_abs / static_cast<double>(audited), max_abs,
+      sum_rel / static_cast<double>(audited),
+      static_cast<long long>(audited));
+}
+
+int64_t MetricCounter(const fgm::JsonNode& m, const char* name) {
+  const fgm::JsonNode* counters = m.Find("metrics") != nullptr
+                                      ? m.Find("metrics")->Find("counters")
+                                      : nullptr;
+  const fgm::JsonNode* v =
+      counters != nullptr ? counters->Find(name) : nullptr;
+  return v != nullptr ? v->AsInt() : 0;
+}
+
+double MetricTimerSeconds(const fgm::JsonNode& m, const char* name) {
+  const fgm::JsonNode* timers = m.Find("metrics") != nullptr
+                                    ? m.Find("metrics")->Find("timers")
+                                    : nullptr;
+  const fgm::JsonNode* t = timers != nullptr ? timers->Find(name) : nullptr;
+  const fgm::JsonNode* v = t != nullptr ? t->Find("total_seconds") : nullptr;
+  return v != nullptr ? v->AsDouble() : 0.0;
+}
+
+void PrintSpeculation(const fgm::JsonNode& m) {
+  const int64_t windows = MetricCounter(m, "spec_windows");
+  if (windows == 0) return;
+  fgm::PrintBanner("Speculation efficiency (parallel runner)");
+  const int64_t barriers = MetricCounter(m, "spec_barriers");
+  const int64_t speculated = MetricCounter(m, "spec_records_speculated");
+  const int64_t committed = MetricCounter(m, "spec_records_committed");
+  const int64_t replayed = MetricCounter(m, "spec_records_replayed");
+  const int64_t wasted = MetricCounter(m, "spec_records_wasted");
+  const double spec_d = std::max<double>(1.0, static_cast<double>(speculated));
+  std::printf(
+      "windows=%lld  barriers=%lld (%.3f per window)\n"
+      "records: speculated=%lld committed=%lld replayed=%lld wasted=%lld\n"
+      "efficiency: committed/speculated=%.4f  waste fraction=%.4f\n"
+      "time: speculate=%.3fs commit=%.3fs\n",
+      static_cast<long long>(windows), static_cast<long long>(barriers),
+      static_cast<double>(barriers) / static_cast<double>(windows),
+      static_cast<long long>(speculated), static_cast<long long>(committed),
+      static_cast<long long>(replayed), static_cast<long long>(wasted),
+      static_cast<double>(committed) / spec_d,
+      static_cast<double>(replayed + wasted) / spec_d,
+      MetricTimerSeconds(m, "spec_speculate"),
+      MetricTimerSeconds(m, "spec_commit"));
+  const fgm::JsonNode* gauges = m.Find("metrics") != nullptr
+                                    ? m.Find("metrics")->Find("gauges")
+                                    : nullptr;
+  if (gauges != nullptr) {
+    std::string tasks;
+    for (const auto& [name, value] : gauges->members) {
+      if (name.rfind("spec_thread", 0) != 0) continue;
+      if (!tasks.empty()) tasks += " ";
+      tasks += Format("%s=%lld", name.c_str() + std::strlen("spec_"),
+                      static_cast<long long>(value.AsInt()));
+    }
+    if (!tasks.empty()) std::printf("per-thread tasks: %s\n", tasks.c_str());
+  }
+}
+
+void WriteJsonReport(const std::string& path, const std::string& trace_path,
+                     const TraceSummary& t, const fgm::ReplayReport& replay,
+                     const Checker& checks) {
+  fgm::JsonWriter w;
+  w.BeginObject();
+  w.Field("trace", trace_path);
+  w.Field("protocol", t.protocol);
+  w.Field("k", static_cast<int64_t>(t.k));
+  w.Field("trace_events", t.run_events);
+  w.Field("rounds", t.last_round());
+  w.Field("up_words", t.run_up_words);
+  w.Field("down_words", t.run_down_words);
+  w.Key("per_round");
+  w.BeginArray();
+  for (const RoundStats& r : t.rounds) {
+    if (r.round == 0 && r.msgs == 0) continue;  // empty pre-round bucket
+    w.BeginObject();
+    w.Field("round", r.round);
+    w.Field("subrounds", r.subrounds);
+    w.Field("rebalances", r.rebalances);
+    w.Field("msgs", r.msgs);
+    w.Field("up_words", r.up_words);
+    w.Field("down_words", r.down_words);
+    w.Key("words_by_kind");
+    w.BeginArray();
+    for (const int64_t v : r.words_by_kind) w.Int(v);
+    w.EndArray();
+    if (r.has_plan) {
+      w.Field("full_sites", r.full_sites);
+      w.Field("pred_len", r.pred_len);
+      w.Field("pred_rate", r.pred_rate);
+    }
+    if (r.has_outcome) {
+      w.Field("updates", r.updates);
+      w.Field("pred_gain", r.outcome_pred_gain);
+      w.Field("actual_gain", r.actual_gain);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("sites");
+  w.BeginArray();
+  for (size_t i = 0; i < t.sites.size(); ++i) {
+    w.BeginObject();
+    w.Field("site", static_cast<int64_t>(i));
+    w.Field("flushes", t.sites[i].flushes);
+    w.Field("flush_words", t.sites[i].flush_words);
+    w.Field("flush_updates", t.sites[i].flush_updates);
+    w.Field("increments", t.sites[i].increments);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("replay");
+  w.BeginObject();
+  w.Field("ok", replay.ok());
+  w.Field("issues", replay.issue_count);
+  w.EndObject();
+  w.Key("checks");
+  w.BeginObject();
+  w.Field("performed", checks.performed);
+  w.Field("ok", checks.ok());
+  w.Key("failures");
+  w.BeginArray();
+  for (const std::string& f : checks.failures) w.String(f);
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fgm_report: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string text = w.Take();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fgm::Flags flags(argc, argv);
+  std::string trace_path = flags.GetString("trace", "");
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string ts_path = flags.GetString("timeseries", "");
+  const std::string json_out = flags.GetString("json_out", "");
+  const int64_t max_rounds = flags.GetInt("max_rounds", 24);
+  const bool check = flags.GetBool("check", true);
+  if (trace_path.empty() && !flags.positional().empty()) {
+    trace_path = flags.positional().front();
+  }
+  const std::vector<std::string> unknown = flags.Unparsed();
+  if (!unknown.empty() || trace_path.empty()) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    }
+    std::fprintf(stderr,
+                 "usage: fgm_report --trace=trace.jsonl "
+                 "[--metrics=metrics.json] [--timeseries=ts.json] "
+                 "[--json_out=report.json] [--max_rounds=N] [--check=true]\n");
+    return 2;
+  }
+
+  TraceSummary trace;
+  std::string error;
+  if (!ReadTrace(trace_path, &trace, &error)) {
+    std::fprintf(stderr, "fgm_report: %s: %s\n", trace_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  Checker checks;
+  const fgm::ReplayReport replay = fgm::CheckTraceFile(trace_path);
+  checks.Expect(replay.ok(), "trace replay: " + replay.Summary());
+  CheckTraceInternal(trace, &checks);
+
+  fgm::JsonNode metrics;
+  bool have_metrics = false;
+  if (!metrics_path.empty()) {
+    if (!ReadJsonFile(metrics_path, &metrics, &error)) {
+      std::fprintf(stderr, "fgm_report: %s: %s\n", metrics_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    have_metrics = true;
+    CheckMetrics(trace, metrics, &checks);
+  }
+
+  int64_t round_samples = 0, interval_samples = 0;
+  bool have_ts = false;
+  fgm::JsonNode ts;
+  if (!ts_path.empty()) {
+    if (!ReadJsonFile(ts_path, &ts, &error)) {
+      std::fprintf(stderr, "fgm_report: %s: %s\n", ts_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    have_ts = true;
+    CheckTimeSeries(trace, ts, &checks, &round_samples, &interval_samples);
+  }
+
+  PrintHeader(trace_path, trace);
+  PrintRoundTable(trace, max_rounds);
+  PrintSiteSkew(trace);
+  PrintOptimizerAudit(trace, max_rounds);
+  if (have_metrics) PrintSpeculation(metrics);
+  if (have_ts) {
+    fgm::PrintBanner("Time series");
+    const fgm::JsonNode* taken = ts.Find("taken");
+    const fgm::JsonNode* dropped = ts.Find("dropped");
+    std::printf("samples: taken=%lld dropped=%lld round=%lld interval=%lld\n",
+                static_cast<long long>(taken ? taken->AsInt() : 0),
+                static_cast<long long>(dropped ? dropped->AsInt() : 0),
+                static_cast<long long>(round_samples),
+                static_cast<long long>(interval_samples));
+  }
+
+  fgm::PrintBanner("Cross-checks");
+  std::printf("replay: %s\n", replay.Summary().c_str());
+  std::printf("%lld checks, %zu failed\n",
+              static_cast<long long>(checks.performed),
+              checks.failures.size());
+  size_t show = std::min<size_t>(checks.failures.size(), 20);
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("FAIL: %s\n", checks.failures[i].c_str());
+  }
+  if (checks.failures.size() > show) {
+    std::printf("... and %zu more failures\n", checks.failures.size() - show);
+  }
+
+  if (!json_out.empty()) {
+    WriteJsonReport(json_out, trace_path, trace, replay, checks);
+    std::printf("json report: %s\n", json_out.c_str());
+  }
+  return (check && !checks.ok()) ? 1 : 0;
+}
