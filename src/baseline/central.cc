@@ -8,13 +8,22 @@ namespace fgm {
 
 CentralProtocol::CentralProtocol(const ContinuousQuery* query, int num_sites,
                                  TransportMode transport, TraceSink* trace,
-                                 MetricsRegistry* metrics)
+                                 MetricsRegistry* metrics,
+                                 const sim::NetSimConfig& net)
     : query_(query),
       sites_k_(num_sites),
-      transport_(MakeTransport(transport, num_sites)),
+      transport_(net.enabled()
+                     ? std::make_unique<sim::EventNetwork>(num_sites, net)
+                     : MakeTransport(transport, num_sites)),
       state_(query->dimension()) {
   FGM_CHECK(query != nullptr);
   FGM_CHECK_GE(num_sites, 1);
+  // The baseline forwards from every site on every record; a fault plan
+  // would make that contact a protocol error (no crash handshake here).
+  FGM_CHECK(net.fault_plan.empty());
+  if (net.enabled()) {
+    sim_ = static_cast<sim::EventNetwork*>(transport_.get());
+  }
   if (trace != nullptr) transport_->set_trace(trace);
   if (metrics != nullptr) {
     transport_->set_metrics(metrics);
@@ -24,6 +33,7 @@ CentralProtocol::CentralProtocol(const ContinuousQuery* query, int num_sites,
 
 void CentralProtocol::ProcessRecord(const StreamRecord& record) {
   FGM_CHECK(record.site >= 0 && record.site < sites_k_);
+  if (sim_ != nullptr) sim_->Advance(1);
   // The update crosses the wire verbatim; the coordinator projects the
   // DELIVERED record (normally 1 word; 2 for keys beyond 62 bits).
   const RawUpdateMsg delivered = transport_->SendRawUpdate(

@@ -17,17 +17,22 @@
 #include "net/protocol.h"
 #include "net/transport.h"
 #include "query/query.h"
+#include "sim/event_network.h"
 
 namespace fgm {
 
 class CentralProtocol : public MonitoringProtocol {
  public:
   /// `trace` / `metrics` are non-owning observability hooks (obs/);
-  /// nullptr (the default) disables them.
+  /// nullptr (the default) disables them. An enabled `net` config runs
+  /// the raw-update stream over the event-simulated network (RPC
+  /// discipline: every update is retransmitted until delivered, so the
+  /// estimate stays exact); fault plans are rejected.
   CentralProtocol(const ContinuousQuery* query, int num_sites,
                   TransportMode transport = TransportMode::kAuto,
                   TraceSink* trace = nullptr,
-                  MetricsRegistry* metrics = nullptr);
+                  MetricsRegistry* metrics = nullptr,
+                  const sim::NetSimConfig& net = {});
 
   std::string name() const override { return "CENTRAL"; }
   void ProcessRecord(const StreamRecord& record) override;
@@ -36,6 +41,12 @@ class CentralProtocol : public MonitoringProtocol {
   ThresholdPair CurrentThresholds() const override;
   const TrafficStats& traffic() const override { return transport_->stats(); }
   int64_t rounds() const override { return 0; }
+  void Finish() override {
+    if (sim_ != nullptr) sim_->FinishRun();
+  }
+  const sim::SimNetStats* net_stats() const override {
+    return sim_ != nullptr ? &sim_->net_stats() : nullptr;
+  }
 
   /// The transport carrying this protocol's messages (testing hook).
   const Transport& transport() const { return *transport_; }
@@ -44,6 +55,7 @@ class CentralProtocol : public MonitoringProtocol {
   const ContinuousQuery* query_;
   int sites_k_;
   std::unique_ptr<Transport> transport_;
+  sim::EventNetwork* sim_ = nullptr;  // non-owning view into transport_
   WallTimer* sketch_timer_ = nullptr;
   RealVector state_;  // exact global state, scaled by 1/k
   std::vector<CellUpdate> delta_scratch_;

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "net/network.h"
+#include "sim/net_config.h"
 
 namespace fgm {
 
@@ -20,6 +21,13 @@ struct FgmConfig {
   /// cross-checks charged vs encoded words. kAuto follows the
   /// FGM_STRICT_WIRE environment variable.
   TransportMode transport = TransportMode::kAuto;
+
+  /// Simulated-network parameters (sim/net_config.h). When enabled() the
+  /// protocol runs over a sim::EventNetwork instead of the synchronous
+  /// transport: counter increments become fire-and-forget datagrams,
+  /// control RPCs gain latency/loss/retransmission, and the fault plan
+  /// drives the crash/rejoin handshake.
+  sim::NetSimConfig net;
 
   /// ε_ψ of §2.4: subrounds end when ψ ≥ ε_ψ·k·φ(0). The paper uses 0.01
   /// throughout and so do we.

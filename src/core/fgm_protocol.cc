@@ -10,12 +10,27 @@
 
 namespace fgm {
 
+namespace {
+
+// An enabled net-sim config swaps the synchronous transport for the
+// discrete-event network; everything downstream only sees Transport.
+std::unique_ptr<Transport> MakeFgmTransport(const FgmConfig& config,
+                                            int num_sites) {
+  if (config.net.enabled()) {
+    return std::make_unique<sim::EventNetwork>(num_sites, config.net);
+  }
+  return MakeTransport(config.transport, num_sites);
+}
+
+}  // namespace
+
 FgmProtocol::FgmProtocol(const ContinuousQuery* query, int num_sites,
                          FgmConfig config)
     : query_(query),
       sites_k_(num_sites),
       config_(config),
-      transport_(MakeTransport(config.transport, num_sites)),
+      transport_(MakeFgmTransport(config, num_sites)),
+      live_k_(num_sites),
       estimate_(query->dimension()),
       balance_(query->dimension()) {
   FGM_CHECK(query != nullptr);
@@ -30,6 +45,14 @@ FgmProtocol::FgmProtocol(const ContinuousQuery* query, int num_sites,
     round_drift_.emplace_back(query->dimension());
   }
   plan_.assign(static_cast<size_t>(num_sites), 1);
+  site_ok_.assign(static_cast<size_t>(num_sites), 1);
+  in_round_.assign(static_cast<size_t>(num_sites), 1);
+  down_since_.assign(static_cast<size_t>(num_sites), 0);
+  coord_seen_ci_.assign(static_cast<size_t>(num_sites), 0);
+  if (config_.net.enabled()) {
+    sim_ = static_cast<sim::EventNetwork*>(transport_.get());
+    lossy_net_ = config_.net.lossy();
+  }
   // Observability hooks must be live before the first round is traced.
   trace_ = config_.trace;
   timeseries_ = config_.timeseries;
@@ -55,6 +78,7 @@ std::string FgmProtocol::name() const {
 }
 
 void FgmProtocol::ProcessRecord(const StreamRecord& record) {
+  if (sim_ != nullptr) SimTick();
   const int64_t increment = LocalProcess(record, nullptr);
   CommitRecords(1);
   if (increment > 0) {
@@ -70,6 +94,21 @@ int64_t FgmProtocol::LocalProcess(const StreamRecord& record, double* value) {
 }
 
 bool FgmProtocol::CommitEvent(const LocalEvent& event) {
+  if (sim_ != nullptr) {
+    const size_t s = static_cast<size_t>(event.site);
+    // Sites post their CUMULATIVE per-subround counter as a one-word
+    // fire-and-forget datagram: a lost or reordered datagram is healed by
+    // any later one (the coordinator applies positive deltas only). A
+    // site outside the round — or down — keeps ingesting records into its
+    // local drift but posts nothing; its contribution reaches E at the
+    // next resync/flush.
+    if (site_ok_[s] != 0 && in_round_[s] != 0) {
+      sim_->PostCounter(event.site, CounterMsg{sites_[s].counter()},
+                        rounds_, subrounds_this_round_);
+      DrainNetwork();
+    }
+    return false;
+  }
   // One-word message carrying the increase to c_i.
   const CounterMsg delivered =
       transport_->SendCounter(event.site, CounterMsg{event.weight});
@@ -127,8 +166,34 @@ void FgmProtocol::StartRound() {
   }
   subrounds_this_round_ = 0;
 
+  // Round membership: every site whose link is up joins. A site dropped
+  // by the dead-site deadline keeps accumulating drift locally and is
+  // re-admitted (after a flush) by the first StartRound following its
+  // rejoin. In synchronous mode every site is always a member.
+  if (sim_ != nullptr) {
+    live_k_ = 0;
+    for (int i = 0; i < sites_k_; ++i) {
+      in_round_[static_cast<size_t>(i)] = site_ok_[static_cast<size_t>(i)];
+      live_k_ += site_ok_[static_cast<size_t>(i)] != 0 ? 1 : 0;
+    }
+    FGM_CHECK_GE(live_k_, 1);  // the fault plan killed every site
+    paused_ = false;
+  }
+
   query_value_ = query_->Evaluate(estimate_);
   thresholds_ = query_->Thresholds(estimate_);
+  // A site that is down right now keeps accumulating drift through an
+  // evaluator built against the OUTGOING round's safe function, and only
+  // rebuilds it at resync. Keep retired safe functions alive until a
+  // round starts with every site up (when no evaluator can reference
+  // them any longer).
+  if (sim_ != nullptr && safe_fn_ != nullptr) {
+    if (live_k_ < sites_k_) {
+      retired_safe_fns_.push_back(std::move(safe_fn_));
+    } else {
+      retired_safe_fns_.clear();
+    }
+  }
   safe_fn_ = query_->MakeSafeFunction(estimate_);
   phi_zero_ = safe_fn_->AtZero();
   FGM_CHECK_LT(phi_zero_, 0.0);
@@ -136,8 +201,8 @@ void FgmProtocol::StartRound() {
     TraceEvent e;
     e.kind = TraceEventKind::kRoundStart;
     e.round = rounds_;
-    e.k = sites_k_;
-    e.psi = static_cast<double>(sites_k_) * phi_zero_;
+    e.k = live_k_;
+    e.psi = static_cast<double>(live_k_) * phi_zero_;
     e.value = phi_zero_;
     e.eps = config_.eps_psi;
     trace_->Emit(e);
@@ -150,7 +215,9 @@ void FgmProtocol::StartRound() {
   // ((3k+1) words per subround, ~log2(1/ε_ψ) subrounds) plus the
   // end-of-round poll and flush acknowledgements.
   const std::vector<SiteRates>* rates_used = nullptr;
-  if (config_.optimizer && have_rates_) {
+  // A reduced-k round (a site dead past the deadline) ships full zones to
+  // the survivors: the optimizer's cost model prices a full-k round.
+  if (config_.optimizer && have_rates_ && live_k_ == sites_k_) {
     const double k = static_cast<double>(sites_k_);
     const double overhead =
         (3.0 * k + 1.0) * std::log2(1.0 / config_.eps_psi) + 4.0 * k;
@@ -227,6 +294,8 @@ void FgmProtocol::StartRound() {
 
   for (int i = 0; i < sites_k_; ++i) {
     FgmSite& site = sites_[static_cast<size_t>(i)];
+    round_drift_[static_cast<size_t>(i)].SetZero();
+    if (in_round_[static_cast<size_t>(i)] == 0) continue;
     if (plan_[static_cast<size_t>(i)]) {
       // Ship E; the site reconstructs φ from it (§2.4 step 1).
       transport_->ShipSafeZone(i, SafeZoneMsg{estimate_});
@@ -240,7 +309,6 @@ void FgmProtocol::StartRound() {
       site.BeginRound(cheap_fn_.get());
     }
     ++total_function_ships_;
-    round_drift_[static_cast<size_t>(i)].SetZero();
   }
 
   balance_.SetZero();
@@ -248,7 +316,7 @@ void FgmProtocol::StartRound() {
   psi_b_ = 0.0;
 
   // Initially ψ = kφ(0) (both φ and b share the value at zero).
-  StartSubround(static_cast<double>(sites_k_) * phi_zero_);
+  StartSubround(static_cast<double>(live_k_) * phi_zero_);
 }
 
 void FgmProtocol::EmitRoundObservability() {
@@ -316,6 +384,14 @@ void FgmProtocol::EmitRoundObservability() {
     s.site_updates_mean =
         static_cast<double>(updates_sum) / static_cast<double>(sites_k_);
     s.drift_norm_mean /= static_cast<double>(sites_k_);
+    if (sim_ != nullptr) {
+      const sim::SimNetStats& n = sim_->net_stats();
+      s.in_flight_words = n.in_flight_words;
+      s.max_in_flight_words = n.max_in_flight_words;
+      s.retransmit_words = n.retransmitted_words;
+      s.dropped_words = n.dropped_words;
+      s.resyncs = n.resyncs;
+    }
     timeseries_->Record(s);
   }
 }
@@ -323,7 +399,7 @@ void FgmProtocol::EmitRoundObservability() {
 void FgmProtocol::StartSubround(double psi_total) {
   FGM_CHECK_LT(psi_total, 0.0);
   last_psi_ = psi_total;
-  const double quantum = -psi_total / (2.0 * static_cast<double>(sites_k_));
+  const double quantum = -psi_total / (2.0 * static_cast<double>(live_k_));
   last_theta_ = quantum;
   counter_total_ = 0;
   ++subrounds_;
@@ -337,18 +413,23 @@ void FgmProtocol::StartSubround(double psi_total) {
     e.theta = quantum;
     trace_->Emit(e);
   }
-  for (FgmSite& site : sites_) {
+  for (int i = 0; i < sites_k_; ++i) {
+    if (in_round_[static_cast<size_t>(i)] == 0) continue;
+    FgmSite& site = sites_[static_cast<size_t>(i)];
     const QuantumMsg delivered =
-        transport_->ShipQuantum(site.id(), QuantumMsg{quantum});
+        transport_->ShipQuantum(i, QuantumMsg{quantum});
     site.BeginSubround(delivered.theta);
+    coord_seen_ci_[static_cast<size_t>(i)] = 0;
   }
+  if (sim_ != nullptr) last_counter_activity_ = sim_->now();
 }
 
-void FgmProtocol::PollAndAdvance() {
+void FgmProtocol::PollAndAdvance(const char* reason) {
   // Collect all φ(X_i): k one-word poll requests + k one-word replies.
   double psi = 0.0;
   double delta_psi = 0.0;  // Δψ_n of §2.5.1: Σ_i (sup Φ_i,n - inf Φ_i,n)
   for (int i = 0; i < sites_k_; ++i) {
+    if (in_round_[static_cast<size_t>(i)] == 0) continue;
     const FgmSite& site = sites_[static_cast<size_t>(i)];
     transport_->ShipControl(i, ControlMsg{ControlOp::kPollPhi});
     const PhiValueMsg reply =
@@ -367,10 +448,11 @@ void FgmProtocol::PollAndAdvance() {
     e.subround = subrounds_this_round_;
     e.psi = last_psi_;
     e.counter = counter_total_;
+    e.reason = reason;
     trace_->Emit(e);
   }
   const double stop_level =
-      config_.eps_psi * static_cast<double>(sites_k_) * phi_zero_;
+      config_.eps_psi * static_cast<double>(live_k_) * phi_zero_;
   if (last_psi_ >= stop_level) {
     if (trace_ != nullptr) {
       TraceEvent e;
@@ -416,6 +498,11 @@ bool FgmProtocol::CheapRoundOverBudget() const {
 
 void FgmProtocol::FlushAllSites() {
   for (int i = 0; i < sites_k_; ++i) {
+    // Non-members flush at their rejoin reconfiguration instead; a member
+    // that is down (deadline-triggered round end) keeps its un-flushed
+    // drift locally until it rejoins.
+    if (in_round_[static_cast<size_t>(i)] == 0) continue;
+    if (sim_ != nullptr && site_ok_[static_cast<size_t>(i)] == 0) continue;
     FgmSite& site = sites_[static_cast<size_t>(i)];
     transport_->ShipControl(i, ControlMsg{ControlOp::kFlushRequest});
     // The site ships either the dense drift or the verbatim raw updates,
@@ -447,7 +534,7 @@ double FgmProtocol::FindMuStar() const {
   // g(µ) = φ(B/(µk)) is monotone along the ray (φ convex, φ(0) < 0):
   // {µ : g(µ) ≤ 0} = [µ*, ∞). Bisection on [lo, 1].
   if (balance_.Norm() == 0.0) return 0.0;
-  const double k = static_cast<double>(sites_k_);
+  const double k = static_cast<double>(live_k_);
   RealVector scaled(balance_.dim());
   auto g = [&](double mu) {
     scaled = balance_;
@@ -486,17 +573,18 @@ void FgmProtocol::TryRebalance() {
   // cheaper than stretching it.
   double plan_words = 0.0;
   for (int i = 0; i < sites_k_; ++i) {
+    if (in_round_[static_cast<size_t>(i)] == 0) continue;
     plan_words += plan_[static_cast<size_t>(i)]
                       ? static_cast<double>(query_->dimension())
                       : CheapBoundFunction::kShippingWords;
   }
-  if (plan_words / static_cast<double>(sites_k_) <
+  if (plan_words / static_cast<double>(live_k_) <
       config_.rebalance_min_words_per_site) {
     EndRound(/*already_flushed=*/false);
     return;
   }
   FlushAllSites();
-  const double k = static_cast<double>(sites_k_);
+  const double k = static_cast<double>(live_k_);
   const double mu = FindMuStar();
   const double lambda = 1.0 - mu;
   if (lambda < config_.min_lambda) {
@@ -527,10 +615,11 @@ void FgmProtocol::TryRebalance() {
       e.psi = psi + psi_b_;
       trace_->Emit(e);
     }
-    for (FgmSite& site : sites_) {
+    for (int i = 0; i < sites_k_; ++i) {
+      if (in_round_[static_cast<size_t>(i)] == 0) continue;
       const LambdaMsg delivered =
-          transport_->ShipLambda(site.id(), LambdaMsg{lambda_});
-      site.SetLambda(delivered.lambda);
+          transport_->ShipLambda(i, LambdaMsg{lambda_});
+      sites_[static_cast<size_t>(i)].SetLambda(delivered.lambda);
     }
     StartSubround(psi + psi_b_);
   } else {
@@ -572,6 +661,249 @@ void FgmProtocol::EndRound(bool already_flushed) {
   // E absorbs the total drift of the round: E += B/k.
   estimate_.Axpy(1.0 / static_cast<double>(sites_k_), balance_);
   StartRound();
+}
+
+bool FgmProtocol::BoundsCertified() const {
+  if (counter_total_ > live_k_) return false;
+  if (sim_ == nullptr) return true;
+  // Under a simulated network the subround invariant c ≤ k only covers
+  // the increments the coordinator has SEEN. Certify exactly the instants
+  // where the full-k round is intact and no counter weight is pending
+  // (in flight or dropped): every site-local increment then took effect
+  // at the coordinator, so the synchronous argument applies verbatim.
+  if (paused_ || live_k_ != sites_k_) return false;
+  return PendingCounterWeight() == 0;
+}
+
+int64_t FgmProtocol::PendingCounterWeight() const {
+  int64_t pending = 0;
+  for (int i = 0; i < sites_k_; ++i) {
+    if (in_round_[static_cast<size_t>(i)] == 0) continue;
+    const int64_t delta = sites_[static_cast<size_t>(i)].counter() -
+                          coord_seen_ci_[static_cast<size_t>(i)];
+    if (delta > 0) pending += delta;
+  }
+  return pending;
+}
+
+void FgmProtocol::Finish() {
+  if (sim_ == nullptr) return;
+  sim_->FinishRun();
+  DrainNetwork();
+}
+
+void FgmProtocol::SimTick() {
+  sim_->Advance(1);
+  DrainNetwork();
+}
+
+void FgmProtocol::DrainNetwork() {
+  sim::FaultNotice fault;
+  while (sim_->PopFault(&fault)) HandleFault(fault);
+  if (paused_) CheckDeadlines();
+  sim::CounterDelivery delivery;
+  while (sim_->PopCounter(&delivery)) {
+    HandleCounterDelivery(delivery);
+    // Poll inside the drain loop: once a poll advances the subround, the
+    // remaining queued datagrams carry a stale epoch and are discarded.
+    if (!paused_ && counter_total_ > live_k_) PollAndAdvance();
+  }
+  MaybeSilencePoll();
+}
+
+void FgmProtocol::HandleFault(const sim::FaultNotice& fault) {
+  const size_t s = static_cast<size_t>(fault.site);
+  if (!fault.up) {
+    site_ok_[s] = 0;
+    down_since_[s] = sim_->now();
+    // A down round member pauses subround progress (polls would FGM_CHECK
+    // addressing a dead link); counters from live members keep
+    // accumulating and the subround resumes at resync.
+    if (in_round_[s] != 0) paused_ = true;
+    return;
+  }
+  site_ok_[s] = 1;
+  if (in_round_[s] != 0) {
+    ResyncSite(fault.site);
+    if (!AnyInRoundSiteDown()) {
+      paused_ = false;
+      // The interrupted subround cannot be resumed — the rejoined site's
+      // subround baseline z_i was volatile. Poll everyone and start a
+      // fresh (labelled) subround from the authoritative ψ.
+      PollAndAdvance("resync");
+    }
+  } else {
+    RejoinReconfigure(fault.site);
+  }
+}
+
+bool FgmProtocol::AnyInRoundSiteDown() const {
+  for (int i = 0; i < sites_k_; ++i) {
+    if (in_round_[static_cast<size_t>(i)] != 0 &&
+        site_ok_[static_cast<size_t>(i)] == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FgmProtocol::ResyncSite(int site) {
+  ResyncMsg msg;
+  msg.reference = estimate_;
+  msg.theta = last_theta_;
+  msg.lambda = lambda_;
+  msg.round = rounds_;
+  msg.subround = subrounds_this_round_;
+  sim_->NoteResync();
+  if (trace_ != nullptr) {
+    // Emitted before the handshake ships: the site is up again from here
+    // on, and the replay checker clears its down state at this event.
+    TraceEvent e;
+    e.kind = TraceEventKind::kSiteResync;
+    e.site = site;
+    e.round = rounds_;
+    e.words = msg.Words();
+    e.t = sim_->now();
+    e.reason = "rejoin";
+    trace_->Emit(e);
+  }
+  const ResyncMsg delivered = transport_->ShipResync(site, msg);
+  // Recovery always ships the full reference and the site rebuilds φ from
+  // it, even when its round plan was the cheap bound. Sound: b ≥ φ
+  // pointwise, so replacing one summand of the monitored Σf_i (f_i ∈
+  // {φ, b}) by φ keeps Σf_i ≥ Σφ — the threshold test stays conservative.
+  sites_[static_cast<size_t>(site)].ResyncRound(
+      safe_fn_.get(), delivered.lambda, delivered.theta);
+  plan_[static_cast<size_t>(site)] = 1;
+  // The site's per-subround counter restarted from zero; re-baseline.
+  // Pre-crash datagrams still in flight for this epoch then re-apply as
+  // fresh deltas — that only inflates c (an earlier poll), never misses.
+  coord_seen_ci_[static_cast<size_t>(site)] = 0;
+}
+
+void FgmProtocol::RejoinReconfigure(int site) {
+  // The returning site is not a round member (it was dropped by the
+  // deadline). Pull its surviving drift into the balance vector before
+  // the reconfiguring round resets its evaluator, then end the reduced
+  // round — the next StartRound re-admits every up site.
+  sim_->NoteResync();
+  if (trace_ != nullptr) {
+    // Emitted before the flush exchange: the site is up again from here
+    // on, and the replay checker clears its down state at this event.
+    TraceEvent e;
+    e.kind = TraceEventKind::kSiteResync;
+    e.site = site;
+    e.round = rounds_;
+    e.words = 0;
+    e.t = sim_->now();
+    e.reason = "reconfig";
+    trace_->Emit(e);
+  }
+  FgmSite& s = sites_[static_cast<size_t>(site)];
+  transport_->ShipControl(site, ControlMsg{ControlOp::kFlushRequest});
+  const DriftFlushMsg delivered =
+      transport_->SendDriftFlush(site, s.MakeFlushMsg());
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kDriftFlush;
+    e.round = rounds_;
+    e.site = site;
+    e.words = delivered.Words();
+    e.count = delivered.update_count;
+    trace_->Emit(e);
+  }
+  if (delivered.update_count > 0) {
+    const RealVector& drift =
+        DeliveredDrift(delivered, *query_, site, &flush_scratch_);
+    balance_ += drift;
+    s.FlushReset();
+  }
+  CloseSubroundForced("reconfig");
+  EndRound(/*already_flushed=*/false);
+}
+
+void FgmProtocol::CloseSubroundForced(const char* reason) {
+  // A forced round end (deadline / reconfiguration) abandons the open
+  // subround without a φ-value poll; the trace still needs a labelled
+  // kSubroundEnd so the replay checker sees the subround closed.
+  if (trace_ == nullptr) return;
+  TraceEvent e;
+  e.kind = TraceEventKind::kSubroundEnd;
+  e.round = rounds_;
+  e.subround = subrounds_this_round_;
+  e.psi = last_psi_;
+  e.counter = counter_total_;
+  e.reason = reason;
+  trace_->Emit(e);
+}
+
+void FgmProtocol::HandleCounterDelivery(const sim::CounterDelivery& delivery) {
+  if (delivery.round != rounds_ ||
+      delivery.subround != subrounds_this_round_) {
+    sim_->NoteStale();
+    return;
+  }
+  ApplyCounterDelta(delivery.site, delivery.msg.increment, nullptr);
+}
+
+void FgmProtocol::ApplyCounterDelta(int site, int64_t cumulative,
+                                    const char* reason) {
+  const size_t s = static_cast<size_t>(site);
+  const int64_t delta = cumulative - coord_seen_ci_[s];
+  if (delta <= 0) return;  // reordered duplicate of an older cumulative
+  coord_seen_ci_[s] = cumulative;
+  counter_total_ += delta;
+  last_counter_activity_ = sim_->now();
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kIncrementMsg;
+    e.round = rounds_;
+    e.subround = subrounds_this_round_;
+    e.site = site;
+    e.counter = delta;
+    e.reason = reason;
+    trace_->Emit(e);
+  }
+}
+
+void FgmProtocol::MaybeSilencePoll() {
+  if (!lossy_net_ || paused_) return;
+  if (sim_->now() - last_counter_activity_ < config_.net.silence_timeout) {
+    return;
+  }
+  // The subround may be stalled on dropped datagrams from sites that have
+  // since gone quiet: re-poll every member's cumulative counter (request
+  // + one-word reply, charged and retransmitted like any control RPC).
+  sim_->NoteTimeout();
+  last_counter_activity_ = sim_->now();
+  for (int i = 0; i < sites_k_; ++i) {
+    const size_t s = static_cast<size_t>(i);
+    if (in_round_[s] == 0 || site_ok_[s] == 0) continue;
+    transport_->ShipControl(i, ControlMsg{ControlOp::kPollCounter});
+    const CounterMsg reply =
+        transport_->SendCounter(i, CounterMsg{sites_[s].counter()});
+    ApplyCounterDelta(i, reply.increment, "timeout-poll");
+  }
+  if (counter_total_ > live_k_) PollAndAdvance();
+}
+
+void FgmProtocol::CheckDeadlines() {
+  bool expired = false;
+  for (int i = 0; i < sites_k_; ++i) {
+    const size_t s = static_cast<size_t>(i);
+    if (in_round_[s] != 0 && site_ok_[s] == 0 &&
+        sim_->now() - down_since_[s] >= config_.net.dead_deadline) {
+      expired = true;
+      break;
+    }
+  }
+  if (!expired) return;
+  // Graceful degradation: a member stayed dead past the deadline. End the
+  // round without it — FlushAllSites skips down sites (their un-flushed
+  // drift survives locally and folds in at rejoin) and StartRound
+  // reconstitutes the round over the surviving sites (reduced k).
+  CloseSubroundForced("deadline");
+  EndRound(/*already_flushed=*/false);
 }
 
 int64_t FgmProtocol::SubroundWords() const {

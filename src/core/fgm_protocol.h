@@ -36,6 +36,7 @@
 #include "query/query.h"
 #include "safezone/cheap_bound.h"
 #include "safezone/safe_function.h"
+#include "sim/event_network.h"
 #include "util/stats.h"
 
 namespace fgm {
@@ -52,7 +53,11 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
   ThresholdPair CurrentThresholds() const override { return thresholds_; }
   const TrafficStats& traffic() const override { return transport_->stats(); }
   int64_t rounds() const override { return rounds_; }
-  bool BoundsCertified() const override { return counter_total_ <= sites_k_; }
+  bool BoundsCertified() const override;
+  void Finish() override;
+  const sim::SimNetStats* net_stats() const override {
+    return sim_ != nullptr ? &sim_->net_stats() : nullptr;
+  }
 
   int64_t subrounds() const { return subrounds_; }
   int64_t rebalances() const { return rebalances_; }
@@ -112,6 +117,7 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
   void RestoreCheckpoint(int shard) override {
     sites_[static_cast<size_t>(shard)].RestoreCheckpoint();
   }
+  bool SupportsSpeculation() const override { return sim_ == nullptr; }
 
  private:
   void StartRound();
@@ -120,7 +126,10 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
   /// per-round state is reset, so it sees the finished round verbatim.
   void EmitRoundObservability();
   void StartSubround(double psi_total);
-  void PollAndAdvance();
+  /// `reason` labels the SubroundEnd trace event when the poll was forced
+  /// by the network machinery (resync) rather than by the counter
+  /// crossing live_k_; nullptr for the ordinary trigger.
+  void PollAndAdvance(const char* reason = nullptr);
   void TryRebalance();
   void EndRound(bool already_flushed);
   /// True when a mostly-cheap round has outspent its budget (see
@@ -131,10 +140,60 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
   /// or 1 when even µ = 1 fails.
   double FindMuStar() const;
 
+  // Simulated-network machinery (all no-ops when sim_ == nullptr).
+  /// Per-record clock tick + drain, called at the top of ProcessRecord.
+  void SimTick();
+  /// Drains due fault transitions and counter datagrams, then checks the
+  /// dead-site deadline and the silence timeout.
+  void DrainNetwork();
+  void HandleFault(const sim::FaultNotice& fault);
+  void HandleCounterDelivery(const sim::CounterDelivery& delivery);
+  /// Applies a cumulative per-subround counter value from `site`,
+  /// emitting kIncrementMsg for the positive delta (if any).
+  void ApplyCounterDelta(int site, int64_t cumulative, const char* reason);
+  /// Coordinator re-polls every live member's cumulative counter after
+  /// silence_timeout ticks without counter activity (lossy links only —
+  /// a dropped datagram whose site then goes quiet would otherwise stall
+  /// the subround forever).
+  void MaybeSilencePoll();
+  /// Drops members dead past dead_deadline from the round: ends the round
+  /// over the surviving sites (reduced-k graceful degradation).
+  void CheckDeadlines();
+  /// Crash/rejoin handshake for a site still in the round: re-ships the
+  /// round state (E, θ, λ, epoch) as a kResync message, rebuilds the
+  /// site's evaluator over its surviving drift and, once no member is
+  /// down, forces a fresh labelled subround (the interrupted one is
+  /// unsound — the site's subround baseline z_i was volatile).
+  void ResyncSite(int site);
+  /// Rejoin of a site that is not a round member (it was dropped by the
+  /// deadline): flush its surviving drift into the balance vector, then
+  /// end the round so the next one reconfigures back to full k.
+  void RejoinReconfigure(int site);
+  /// Emits a labelled kSubroundEnd for a subround abandoned by a forced
+  /// round end (no φ-value poll happened).
+  void CloseSubroundForced(const char* reason);
+  bool AnyInRoundSiteDown() const;
+  /// Counter weight the sites have accumulated this subround but the
+  /// coordinator has not yet seen (in flight or dropped).
+  int64_t PendingCounterWeight() const;
+
   const ContinuousQuery* query_;
   int sites_k_;
   FgmConfig config_;
   std::unique_ptr<Transport> transport_;
+
+  // Simulated network (non-owning view into transport_; nullptr when the
+  // protocol runs over a synchronous transport). The protocol-side site
+  // state mirrors the network's link state as of the last drain.
+  sim::EventNetwork* sim_ = nullptr;
+  bool lossy_net_ = false;          ///< sim_ && (drop > 0 || fault plan)
+  int live_k_;                      ///< members of the current round
+  std::vector<uint8_t> site_ok_;    ///< link up, as of the last drain
+  std::vector<uint8_t> in_round_;   ///< membership in the current round
+  std::vector<int64_t> down_since_; ///< tick of the last down transition
+  std::vector<int64_t> coord_seen_ci_;  ///< cumulative counter seen/site
+  bool paused_ = false;  ///< a round member is down: polls suppressed
+  int64_t last_counter_activity_ = 0;
 
   // Observability (non-owning; null when disabled).
   TraceSink* trace_ = nullptr;
@@ -150,6 +209,9 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
 
   std::unique_ptr<SafeFunction> safe_fn_;
   std::unique_ptr<CheapBoundFunction> cheap_fn_;
+  /// Safe functions of earlier rounds still referenced by the evaluators
+  /// of currently-down sites (sim mode); freed at the first all-up round.
+  std::vector<std::unique_ptr<SafeFunction>> retired_safe_fns_;
   double phi_zero_ = -1.0;
 
   std::vector<FgmSite> sites_;

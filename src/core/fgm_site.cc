@@ -19,6 +19,28 @@ void FgmSite::BeginRound(const SafeFunction* fn) {
   log_.Reset();
 }
 
+void FgmSite::ResyncRound(const SafeFunction* fn, double lambda,
+                          double theta) {
+  FGM_CHECK(fn != nullptr);
+  FGM_CHECK_GT(theta, 0.0);
+  // Replay the surviving drift into a fresh evaluator for the delivered
+  // reference, one delta per non-zero entry (the same reconstruction the
+  // coordinator's verbatim-flush path uses).
+  const RealVector drift =
+      evaluator_ != nullptr ? evaluator_->drift() : RealVector(dim_);
+  evaluator_ = MakeCheckedEvaluator(fn, fn->MakeEvaluator());
+  for (size_t i = 0; i < drift.dim(); ++i) {
+    if (drift[i] != 0.0) evaluator_->ApplyDelta(i, drift[i]);
+  }
+  lambda_ = lambda;
+  quantum_ = theta;
+  z_ = CurrentValue();
+  value_min_ = z_;
+  value_max_ = z_;
+  counter_ = 0;
+  checkpoint_.valid = false;
+}
+
 void FgmSite::BeginSubround(double quantum) {
   FGM_CHECK_GT(quantum, 0.0);
   quantum_ = quantum;

@@ -37,6 +37,14 @@ class FgmSite {
   /// Starts a subround with quantum θ > 0: records z_i, resets c_i.
   void BeginSubround(double quantum);
 
+  /// Crash-recovery handshake (sim/ networks): rebuilds the evaluator for
+  /// the re-shipped safe function while PRESERVING the accumulated drift
+  /// — the drift and the raw-update log live in stable storage; only the
+  /// evaluator's working state and the subround baseline were volatile.
+  /// Re-baselines the counter at the current value under the delivered
+  /// λ and θ.
+  void ResyncRound(const SafeFunction* fn, double lambda, double theta);
+
   /// Installs a new rebalancing scale.
   void SetLambda(double lambda) { lambda_ = lambda; }
 

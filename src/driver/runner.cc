@@ -78,10 +78,12 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
   switch (config.protocol) {
     case ProtocolKind::kCentral:
       return std::make_unique<CentralProtocol>(query, config.sites, mode,
-                                               config.trace, config.metrics);
+                                               config.trace, config.metrics,
+                                               config.net);
     case ProtocolKind::kGm: {
       GmConfig gm;
       gm.transport = mode;
+      gm.net = config.net;
       gm.trace = config.trace;
       gm.metrics = config.metrics;
       return std::make_unique<GmProtocol>(query, config.sites, gm);
@@ -89,6 +91,7 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
     case ProtocolKind::kFgmBasic: {
       FgmConfig fgm;
       fgm.transport = mode;
+      fgm.net = config.net;
       fgm.rebalance = false;
       fgm.trace = config.trace;
       fgm.metrics = config.metrics;
@@ -98,6 +101,7 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
     case ProtocolKind::kFgm: {
       FgmConfig fgm;
       fgm.transport = mode;
+      fgm.net = config.net;
       fgm.trace = config.trace;
       fgm.metrics = config.metrics;
       fgm.timeseries = config.timeseries;
@@ -106,6 +110,7 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
     case ProtocolKind::kFgmOpt: {
       FgmConfig fgm;
       fgm.transport = mode;
+      fgm.net = config.net;
       fgm.optimizer = true;
       fgm.trace = config.trace;
       fgm.metrics = config.metrics;
@@ -154,6 +159,25 @@ void WriteMetricsFile(const std::string& path, const RunConfig& config,
   w.Field("parallel_barriers", result.parallel_barriers);
   w.Field("replayed_records", result.replayed_records);
   w.EndObject();
+  if (result.net_enabled) {
+    // Only simulated-network runs carry this section, so synchronous
+    // summaries stay byte-identical to earlier versions.
+    w.Key("net");
+    w.BeginObject();
+    w.Field("delivered_msgs", result.net.delivered_msgs);
+    w.Field("delivered_words", result.net.delivered_words);
+    w.Field("dropped_msgs", result.net.dropped_msgs);
+    w.Field("dropped_words", result.net.dropped_words);
+    w.Field("retransmitted_msgs", result.net.retransmitted_msgs);
+    w.Field("retransmitted_words", result.net.retransmitted_words);
+    w.Field("stale_msgs", result.net.stale_msgs);
+    w.Field("timeouts", result.net.timeouts);
+    w.Field("resyncs", result.net.resyncs);
+    w.Field("site_downs", result.net.site_downs);
+    w.Field("max_in_flight_words", result.net.max_in_flight_words);
+    w.Field("final_tick", result.net.final_tick);
+    w.EndObject();
+  }
   w.Key("words_by_kind");
   w.BeginObject();
   for (size_t i = 0; i < result.traffic.words_by_kind.size(); ++i) {
@@ -270,6 +294,13 @@ RunResult Run(const RunConfig& base_config,
       s.subrounds = fgm_proto->subrounds_this_round();
       s.total_subrounds = fgm_proto->subrounds();
     }
+    if (const sim::SimNetStats* ns = protocol->net_stats()) {
+      s.in_flight_words = ns->in_flight_words;
+      s.max_in_flight_words = ns->max_in_flight_words;
+      s.retransmit_words = ns->retransmitted_words;
+      s.dropped_words = ns->dropped_words;
+      s.resyncs = ns->resyncs;
+    }
     config.timeseries->Record(s);
   };
   const int64_t progress = config.progress_every;
@@ -296,6 +327,16 @@ RunResult Run(const RunConfig& base_config,
   ShardedProtocol* sharded =
       config.threads > 1 ? dynamic_cast<ShardedProtocol*>(protocol.get())
                          : nullptr;
+  if (sharded != nullptr && !sharded->SupportsSpeculation()) {
+    // Simulated-network runs advance a global event clock per record;
+    // speculative replay would deliver messages twice. Fall back to the
+    // serial reference loop.
+    std::fprintf(stderr,
+                 "[fgm] %s does not support speculation here "
+                 "(simulated network); running serial\n",
+                 result.protocol_name.c_str());
+    sharded = nullptr;
+  }
   if (sharded != nullptr) {
     ParallelRunnerOptions opts;
     opts.threads = config.threads;
@@ -352,6 +393,11 @@ RunResult Run(const RunConfig& base_config,
     }
   }
 
+  // Let the simulated network land every in-flight message (and the
+  // protocol apply it) before totals are read; no-op on synchronous
+  // transports.
+  protocol->Finish();
+
   result.events = n;
   result.traffic = protocol->traffic();
   result.rounds = protocol->rounds();
@@ -368,6 +414,10 @@ RunResult Run(const RunConfig& base_config,
     result.rebalances = fgm->rebalances();
     result.overflow_rounds = fgm->overflow_rounds();
     result.mean_full_function_fraction = fgm->mean_full_function_fraction();
+  }
+  if (const sim::SimNetStats* ns = protocol->net_stats()) {
+    result.net_enabled = true;
+    result.net = *ns;
   }
 
   const auto end = std::chrono::steady_clock::now();

@@ -11,6 +11,7 @@
 
 #include "net/protocol.h"
 #include "query/query.h"
+#include "sim/event_network.h"
 #include "stream/record.h"
 
 namespace fgm {
@@ -80,6 +81,13 @@ struct RunConfig {
   /// encodes, size-checks, decodes and verifies each one (strict wire
   /// accounting). Off: the transport follows FGM_STRICT_WIRE.
   bool strict_wire = false;
+
+  /// Simulated-network parameters (src/sim). When enabled() the protocol
+  /// runs over the discrete-event network (which always serializes, so
+  /// strict wire accounting is implied), speculation is disabled and the
+  /// run falls back to the serial loop. Fault plans require an FGM
+  /// protocol (GM/CENTRAL have no crash handshake and reject them).
+  sim::NetSimConfig net;
 
   // ---- Observability (obs/) ----
 
@@ -151,6 +159,10 @@ struct RunResult {
   int64_t parallel_windows = 0;
   int64_t parallel_barriers = 0;
   int64_t replayed_records = 0;
+
+  // Simulated-network diagnostics (all zero on synchronous transports).
+  bool net_enabled = false;
+  sim::SimNetStats net;
 };
 
 /// Builds the query of `config` (the projection is shared and seeded from

@@ -7,9 +7,21 @@
 //       [--metrics_out=metrics.json] [--timeseries_out=ts.json]
 //       [--snapshot_every=0] [--timeseries_cap=4096] [--progress=0]
 //       [--strict_wire]
+//       [--net_latency=fixed:4] [--net_drop=0.1] [--net_seed=N]
+//       [--fault_plan="crash:site=2,at=50000,rejoin=80000"]
+//       [--net_bandwidth=0] [--net_reorder=0] [--net_timeout=64]
+//       [--net_silence=256] [--net_deadline=4096]
 //
 // --threads > 1 runs the sharded parallel engine (exec/); traffic,
 // traces, results and time series are bit-identical to --threads=1.
+//
+// --net_latency / --net_drop / --fault_plan run the protocol over the
+// discrete-event network simulator (src/sim): per-link latency
+// ("0", "fixed:T", "uniform:A-B", "exp:M"), iid message loss,
+// scheduled crash/outage windows ("crash:site=S,at=T[,rejoin=T2]" /
+// "outage:site=S,from=A,to=B", ';'-separated). --net_latency=0 is the
+// simulator's null mode, bit-identical to the synchronous path. Fault
+// plans require an FGM protocol. Simulated runs force --threads=1.
 //
 // --trace_out writes the structured JSONL event trace (obs/trace.h);
 // --metrics_out writes a JSON summary of the RunResult plus the metrics
@@ -71,30 +83,49 @@ int main(int argc, char** argv) {
                  query.c_str());
     return 2;
   }
-  config.sites = static_cast<int>(flags.GetInt("sites", 27));
-  const int64_t updates = flags.GetInt("updates", 400000);
+  config.sites = static_cast<int>(flags.GetCount("sites", 27));
+  const int64_t updates = flags.GetCount("updates", 400000);
   config.epsilon = flags.GetDouble("eps", 0.1);
   config.window_seconds = flags.GetDouble("window", 14400.0);
-  config.count_window = flags.GetInt("count_window", 0);
-  config.depth = static_cast<int>(flags.GetInt("depth", 5));
+  config.count_window = flags.GetCount("count_window", 0);
+  config.depth = static_cast<int>(flags.GetCount("depth", 5));
   config.width = static_cast<int>(
-      flags.GetInt("width", config.query == fgm::QueryKind::kJoin ? 150
-                                                                  : 300));
-  config.check_every = flags.GetInt("check_every", 5000);
-  config.threads = static_cast<int>(flags.GetInt("threads", 1));
+      flags.GetCount("width", config.query == fgm::QueryKind::kJoin ? 150
+                                                                    : 300));
+  config.check_every = flags.GetCount("check_every", 5000);
+  config.threads = static_cast<int>(flags.GetCount("threads", 1));
   config.trace_out = flags.GetString("trace_out", "");
   config.metrics_out = flags.GetString("metrics_out", "");
   config.timeseries_out = flags.GetString("timeseries_out", "");
-  config.snapshot_every = flags.GetInt("snapshot_every", 0);
-  config.timeseries_capacity = flags.GetInt("timeseries_cap", 4096);
-  config.progress_every = flags.GetInt("progress", 0);
+  config.snapshot_every = flags.GetCount("snapshot_every", 0);
+  config.timeseries_capacity = flags.GetCount("timeseries_cap", 4096);
+  config.progress_every = flags.GetCount("progress", 0);
   config.strict_wire = flags.GetBool("strict_wire", false);
+  config.net.latency = flags.GetString("net_latency", "");
+  config.net.drop = flags.GetDouble("net_drop", 0.0);
+  config.net.seed = static_cast<uint64_t>(
+      flags.GetInt("net_seed", static_cast<int64_t>(config.net.seed)));
+  config.net.fault_plan = flags.GetString("fault_plan", "");
+  config.net.bandwidth = flags.GetCount("net_bandwidth", 0);
+  config.net.reorder_window = flags.GetCount("net_reorder", 0);
+  config.net.retransmit_timeout =
+      flags.GetCount("net_timeout", config.net.retransmit_timeout);
+  config.net.silence_timeout =
+      flags.GetCount("net_silence", config.net.silence_timeout);
+  config.net.dead_deadline =
+      flags.GetCount("net_deadline", config.net.dead_deadline);
 
-  const std::vector<std::string> unknown = flags.Unparsed();
-  if (!unknown.empty()) {
-    for (const std::string& name : unknown) {
-      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
-    }
+  if (!flags.Validate(
+          "runner --protocol=central|gm|fgm-basic|fgm|fgm-o "
+          "--query=selfjoin|join|fp|variance|quantile [--sites=N] "
+          "[--updates=N] [--eps=E] [--window=S] [--count_window=N] "
+          "[--depth=N] [--width=N] [--check_every=N] [--threads=N] "
+          "[--trace_out=F] [--metrics_out=F] [--timeseries_out=F] "
+          "[--snapshot_every=N] [--timeseries_cap=N] [--progress=N] "
+          "[--strict_wire] [--net_latency=SPEC] [--net_drop=P] "
+          "[--net_seed=N] [--fault_plan=PLAN] [--net_bandwidth=N] "
+          "[--net_reorder=N] [--net_timeout=N] [--net_silence=N] "
+          "[--net_deadline=N]")) {
     return 2;
   }
 
@@ -117,6 +148,21 @@ int main(int argc, char** argv) {
                 r.threads_used, static_cast<long long>(r.parallel_windows),
                 static_cast<long long>(r.parallel_barriers),
                 static_cast<long long>(r.replayed_records));
+  }
+  if (r.net_enabled) {
+    std::printf(
+        "net: delivered=%lld dropped=%lld retransmitted=%lld stale=%lld "
+        "timeouts=%lld resyncs=%lld site_downs=%lld max_in_flight=%lld "
+        "final_tick=%lld\n",
+        static_cast<long long>(r.net.delivered_msgs),
+        static_cast<long long>(r.net.dropped_msgs),
+        static_cast<long long>(r.net.retransmitted_msgs),
+        static_cast<long long>(r.net.stale_msgs),
+        static_cast<long long>(r.net.timeouts),
+        static_cast<long long>(r.net.resyncs),
+        static_cast<long long>(r.net.site_downs),
+        static_cast<long long>(r.net.max_in_flight_words),
+        static_cast<long long>(r.net.final_tick));
   }
   if (!config.trace_out.empty()) {
     std::printf("trace: %s\n", config.trace_out.c_str());

@@ -74,6 +74,12 @@ class ShardedProtocol {
   /// consumes the checkpoint (at most one restore per save).
   virtual void SaveCheckpoint(int shard) = 0;
   virtual void RestoreCheckpoint(int shard) = 0;
+
+  /// False when the protocol's commit path is not replay-safe — e.g. FGM
+  /// over a simulated network, where the event queue advances with every
+  /// record and speculation would reorder deliveries. The runner falls
+  /// back to serial execution.
+  virtual bool SupportsSpeculation() const { return true; }
 };
 
 }  // namespace fgm

@@ -15,17 +15,34 @@ void LoadDrift(DriftEvaluator* evaluator, const RealVector& value) {
   }
 }
 
+namespace {
+
+std::unique_ptr<Transport> MakeGmTransport(const GmConfig& config,
+                                           int num_sites) {
+  if (config.net.enabled()) {
+    return std::make_unique<sim::EventNetwork>(num_sites, config.net);
+  }
+  return MakeTransport(config.transport, num_sites);
+}
+
+}  // namespace
+
 GmProtocol::GmProtocol(const ContinuousQuery* query, int num_sites,
                        GmConfig config)
     : query_(query),
       sites_k_(num_sites),
       config_(config),
-      transport_(MakeTransport(config.transport, num_sites)),
+      transport_(MakeGmTransport(config, num_sites)),
       rng_(config.seed),
       estimate_(query->dimension()),
       sites_(static_cast<size_t>(num_sites)) {
   FGM_CHECK(query != nullptr);
   FGM_CHECK_GE(num_sites, 1);
+  // GM has no crash/rejoin handshake: a fault plan would strand a site.
+  FGM_CHECK(config_.net.fault_plan.empty());
+  if (config_.net.enabled()) {
+    sim_ = static_cast<sim::EventNetwork*>(transport_.get());
+  }
   trace_ = config_.trace;
   if (trace_ != nullptr) transport_->set_trace(trace_);
   if (config_.metrics != nullptr) {
@@ -64,6 +81,7 @@ void GmProtocol::StartRound() {
 }
 
 void GmProtocol::ProcessRecord(const StreamRecord& record) {
+  if (sim_ != nullptr) sim_->Advance(1);
   double value = 0.0;
   const int64_t weight = LocalProcess(record, &value);
   if (weight > 0) {

@@ -31,6 +31,7 @@
 #include "net/wire.h"
 #include "query/query.h"
 #include "safezone/safe_function.h"
+#include "sim/event_network.h"
 #include "util/rng.h"
 
 namespace fgm {
@@ -38,6 +39,12 @@ namespace fgm {
 struct GmConfig {
   /// How protocol messages travel (see FgmConfig::transport).
   TransportMode transport = TransportMode::kAuto;
+
+  /// Simulated-network parameters (latency/drop only). GM's traffic is
+  /// entirely request/response, so the event network's RPC discipline
+  /// (charge every attempt, retransmit on loss) covers it; fault plans
+  /// are rejected — GM has no crash/rejoin handshake.
+  sim::NetSimConfig net;
   /// Disabling rebalancing makes every violation a full sync.
   bool rebalance = true;
   /// A partial rebalance is accepted only when the averaged drift has
@@ -69,6 +76,12 @@ class GmProtocol : public MonitoringProtocol, public ShardedProtocol {
   ThresholdPair CurrentThresholds() const override { return thresholds_; }
   const TrafficStats& traffic() const override { return transport_->stats(); }
   int64_t rounds() const override { return full_syncs_; }
+  void Finish() override {
+    if (sim_ != nullptr) sim_->FinishRun();
+  }
+  const sim::SimNetStats* net_stats() const override {
+    return sim_ != nullptr ? &sim_->net_stats() : nullptr;
+  }
 
   int64_t violations() const { return violations_; }
   int64_t partial_rebalances() const { return partial_rebalances_; }
@@ -85,6 +98,7 @@ class GmProtocol : public MonitoringProtocol, public ShardedProtocol {
   bool CommitEvent(const LocalEvent& event) override;
   void SaveCheckpoint(int shard) override;
   void RestoreCheckpoint(int shard) override;
+  bool SupportsSpeculation() const override { return sim_ == nullptr; }
 
  private:
   struct Site {
@@ -117,6 +131,7 @@ class GmProtocol : public MonitoringProtocol, public ShardedProtocol {
   int sites_k_;
   GmConfig config_;
   std::unique_ptr<Transport> transport_;
+  sim::EventNetwork* sim_ = nullptr;  // non-owning view into transport_
   Xoshiro256ss rng_;
 
   // Observability (non-owning; null when disabled).

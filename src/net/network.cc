@@ -23,6 +23,8 @@ const char* MsgKindName(MsgKind kind) {
       return "control";
     case MsgKind::kRawUpdate:
       return "raw-update";
+    case MsgKind::kResync:
+      return "resync";
     case MsgKind::kKindCount:
       break;
   }

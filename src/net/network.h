@@ -38,6 +38,7 @@ enum class MsgKind : int {
   kDriftFlush,     ///< drift vectors (or verbatim updates) to coordinator
   kControl,        ///< poll/flush requests, violation alerts
   kRawUpdate,      ///< raw stream records (centralizing / promiscuous mode)
+  kResync,         ///< crash/rejoin state snapshot (E, θ, λ, round epoch)
   kKindCount,
 };
 

@@ -18,6 +18,10 @@
 
 namespace fgm {
 
+namespace sim {
+struct SimNetStats;
+}  // namespace sim
+
 class MonitoringProtocol {
  public:
   virtual ~MonitoringProtocol() = default;
@@ -45,8 +49,18 @@ class MonitoringProtocol {
 
   /// True while the protocol can vouch for its thresholds at this instant
   /// (e.g. FGM is mid-subround with counter c ≤ k). Used by correctness
-  /// tests to know when to assert the containment Q(S) ∈ [lo, hi].
+  /// tests to know when to assert the containment Q(S) ∈ [lo, hi]. Under
+  /// a simulated network this additionally requires no site down and no
+  /// counter increment still in flight.
   virtual bool BoundsCertified() const { return true; }
+
+  /// End-of-stream hook: a protocol over a simulated network (sim/) lets
+  /// every in-flight datagram land and drains it here. No-op otherwise.
+  virtual void Finish() {}
+
+  /// Network-simulation counters, or nullptr when the protocol runs over
+  /// a synchronous transport.
+  virtual const sim::SimNetStats* net_stats() const { return nullptr; }
 };
 
 }  // namespace fgm

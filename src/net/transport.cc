@@ -43,6 +43,10 @@ class CountingTransport final : public Transport {
     network_.Upstream(site, MsgKind::kControl, ControlMsg::kWords);
     return msg;
   }
+  ResyncMsg ShipResync(int site, ResyncMsg msg) override {
+    network_.Upstream(site, MsgKind::kResync, msg.Words());
+    return msg;
+  }
   ControlMsg SendControl(int site, ControlMsg msg) override {
     network_.Downstream(site, MsgKind::kControl, ControlMsg::kWords);
     return msg;
@@ -110,6 +114,15 @@ class SerializingTransport final : public Transport {
         [](const WordBuffer& in) { return ControlMsg::Decode(in); },
         [&](int64_t words) {
           network_.Upstream(site, MsgKind::kControl, words);
+        });
+  }
+  ResyncMsg ShipResync(int site, ResyncMsg msg) override {
+    const size_t dim = msg.reference.dim();
+    return RoundTrip(
+        msg, msg.Words(),
+        [dim](const WordBuffer& in) { return ResyncMsg::Decode(in, dim); },
+        [&](int64_t words) {
+          network_.Upstream(site, MsgKind::kResync, words);
         });
   }
   ControlMsg SendControl(int site, ControlMsg msg) override {

@@ -16,8 +16,9 @@
 //
 // Both modes charge identical word counts from the same message objects,
 // so reported costs are bit-identical across modes; strict mode only adds
-// the encode/decode/verify work. A future socket backend implements this
-// same interface with real I/O.
+// the encode/decode/verify work. sim::EventNetwork (src/sim) implements
+// this same interface over a discrete-event queue with latency, loss and
+// fault injection; a future socket backend would slot in the same way.
 
 #ifndef FGM_NET_TRANSPORT_H_
 #define FGM_NET_TRANSPORT_H_
@@ -47,7 +48,8 @@ class Transport {
   virtual const char* name() const = 0;
 
   /// Forwards per-message kMsgSent events to `trace` (nullptr disables).
-  void set_trace(TraceSink* trace) { network_.set_trace(trace); }
+  /// Virtual: the event-network backend also emits delivery/drop events.
+  virtual void set_trace(TraceSink* trace) { network_.set_trace(trace); }
 
   /// Registers the wire_encode / wire_decode wall timers with `metrics`
   /// (nullptr detaches). Only the serializing path does timed work.
@@ -60,6 +62,7 @@ class Transport {
   virtual QuantumMsg ShipQuantum(int site, QuantumMsg msg) = 0;
   virtual LambdaMsg ShipLambda(int site, LambdaMsg msg) = 0;
   virtual ControlMsg ShipControl(int site, ControlMsg msg) = 0;
+  virtual ResyncMsg ShipResync(int site, ResyncMsg msg) = 0;
 
   // Site → coordinator.
   virtual ControlMsg SendControl(int site, ControlMsg msg) = 0;

@@ -69,7 +69,7 @@ bool WordBuffer::SameBits(const WordBuffer& other) const {
 ControlMsg ControlMsg::Decode(const WordBuffer& in) {
   const int64_t op = in.GetCount(0);
   FGM_CHECK_GE(op, static_cast<int64_t>(ControlOp::kPollPhi));
-  FGM_CHECK_LE(op, static_cast<int64_t>(ControlOp::kViolation));
+  FGM_CHECK_LE(op, static_cast<int64_t>(ControlOp::kPollCounter));
   return ControlMsg{static_cast<ControlOp>(op)};
 }
 

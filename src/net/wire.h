@@ -99,6 +99,7 @@ enum class ControlOp : int64_t {
   kFlushRequest,   ///< coordinator asks a site to flush its drift
   kDriftRequest,   ///< GM coordinator collects a rebalancing peer's drift
   kViolation,      ///< GM site reports a local safe-zone violation
+  kPollCounter,    ///< FGM coordinator re-polls a site's cumulative counter
 };
 
 struct ControlMsg {
@@ -119,6 +120,36 @@ struct SafeZoneMsg {
     return SafeZoneMsg{in.GetVector(0, dim)};
   }
   int64_t Words() const { return static_cast<int64_t>(reference.dim()); }
+};
+
+/// Crash/rejoin state snapshot (coordinator → site): the round's reference
+/// vector E plus the current quantum θ, scale λ and the (round, subround)
+/// epoch, from which a recovering site rebuilds its safe function and
+/// re-enters the protocol. D + 4 words, charged like any other message.
+struct ResyncMsg {
+  RealVector reference;
+  double theta = 0.0;
+  double lambda = 1.0;
+  int64_t round = 0;
+  int64_t subround = 0;
+
+  void Encode(WordBuffer* out) const {
+    out->PutVector(reference);
+    out->PutReal(theta);
+    out->PutReal(lambda);
+    out->PutCount(round);
+    out->PutCount(subround);
+  }
+  static ResyncMsg Decode(const WordBuffer& in, size_t dim) {
+    ResyncMsg msg;
+    msg.reference = in.GetVector(0, dim);
+    msg.theta = in.GetReal(dim);
+    msg.lambda = in.GetReal(dim + 1);
+    msg.round = in.GetCount(dim + 2);
+    msg.subround = in.GetCount(dim + 3);
+    return msg;
+  }
+  int64_t Words() const { return static_cast<int64_t>(reference.dim()) + 4; }
 };
 
 /// Cheap safe-function shipment (§4.2.1): (p, q, a) — here the Lipschitz

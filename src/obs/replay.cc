@@ -89,6 +89,7 @@ bool ParseTraceEventJson(const std::string& line, TraceEvent* event,
   event->down_words = GetInt(obj, "down_words");
   event->up_msgs = GetInt(obj, "up_msgs");
   event->down_msgs = GetInt(obj, "down_msgs");
+  event->t = GetInt(obj, "t");
   switch (event->kind) {
     case TraceEventKind::kRunStart:
       event->label = GetLabel(obj, "protocol");
@@ -98,9 +99,11 @@ bool ParseTraceEventJson(const std::string& line, TraceEvent* event,
       break;
     case TraceEventKind::kSubroundEnd:
       event->counter = GetInt(obj, "counter");
+      event->reason = GetLabel(obj, "reason");
       break;
     case TraceEventKind::kIncrementMsg:
       event->counter = GetInt(obj, "increment");
+      event->reason = GetLabel(obj, "reason");
       break;
     case TraceEventKind::kDriftFlush:
       event->count = GetInt(obj, "updates");
@@ -134,6 +137,18 @@ bool ParseTraceEventJson(const std::string& line, TraceEvent* event,
       event->count = GetInt(obj, "updates");
       event->pred_gain = GetDouble(obj, "pred_gain");
       event->actual_gain = GetDouble(obj, "actual_gain");
+      break;
+    case TraceEventKind::kMsgDelivered:
+    case TraceEventKind::kMsgDropped: {
+      event->label = GetLabel(obj, "msg");
+      const char* dir = GetLabel(obj, "dir");
+      event->dir = (dir != nullptr && std::strcmp(dir, "up") == 0) ? 1 : -1;
+      event->reason = GetLabel(obj, "reason");
+      break;
+    }
+    case TraceEventKind::kSiteDown:
+    case TraceEventKind::kSiteResync:
+      event->reason = GetLabel(obj, "reason");
       break;
     case TraceEventKind::kRunEnd:
       event->count = GetInt(obj, "events");
@@ -194,7 +209,10 @@ class Checker {
   void Check(const TraceEvent& e) {
     switch (e.kind) {
       case TraceEventKind::kRunStart:
-        if (e.k >= 1) k_ = e.k;
+        if (e.k >= 1) {
+          k_ = e.k;
+          run_k_ = e.k;
+        }
         break;
 
       case TraceEventKind::kRoundStart: {
@@ -213,7 +231,15 @@ class Checker {
         in_round_ = true;
         round_msg_words_ = 0;
         if (e.k >= 1) {
-          if (k_ > 0 && e.k != k_) Fail(e.seq, "site count k changed");
+          if (k_ > 0 && e.k != k_) {
+            // Reduced-k (or recovered) rounds are legal only after the
+            // simulated network changed the live site set, and k must
+            // stay within [1, RunStart k].
+            if (!(sim_mode_ && site_set_changed_ &&
+                  (run_k_ == 0 || e.k <= run_k_))) {
+              Fail(e.seq, "site count k changed");
+            }
+          }
           k_ = e.k;
         }
         phi0_ = e.value;
@@ -277,8 +303,22 @@ class Checker {
           break;
         }
         if (e.counter <= 0) Fail(e.seq, "non-positive counter increment");
-        if (e.site < 0 || (k_ > 0 && e.site >= k_)) {
+        if (e.site < 0 || (run_k_ > 0 && e.site >= run_k_)) {
           Fail(e.seq, "increment from invalid site");
+        }
+        if (e.reason != nullptr && !sim_mode_) {
+          Fail(e.seq, "reasoned increment outside a simulated run");
+        }
+        // Delivery-point safety: while every site is reachable the
+        // coordinator polls as soon as the total passes k, so no further
+        // unreasoned increment may land on a total already past it.
+        // During a down window deliveries accumulate (the poll is
+        // deferred), and timeout-poll batches apply several deltas
+        // back-to-back — both carry exemptions the trace makes explicit.
+        if (e.reason == nullptr && down_sites_.empty() &&
+            increment_sum_ > k_) {
+          Fail(e.seq, "increment delivered after the counter total passed "
+                      "k without a poll");
         }
         increment_sum_ += e.counter;
         break;
@@ -296,7 +336,14 @@ class Checker {
                           " != sum of increments " +
                           std::to_string(increment_sum_));
         }
-        if (e.counter <= k_) {
+        if (e.reason != nullptr) {
+          // Forced polls (resync after a rejoin, silence-timeout) may
+          // legitimately fire at any counter total, but only simulated
+          // networks produce them.
+          if (!sim_mode_) {
+            Fail(e.seq, "forced poll outside a simulated run");
+          }
+        } else if (e.counter <= k_) {
           Fail(e.seq, "phi-value poll before the counter exceeded k");
         }
         expected_psi_ = e.psi;
@@ -402,6 +449,61 @@ class Checker {
         }
         break;
 
+      case TraceEventKind::kMsgDelivered:
+        ++report_.deliveries;
+        sim_mode_ = true;
+        if (e.words < 1) Fail(e.seq, "delivered message below 1 word");
+        if (e.dir > 0) {
+          // Coordinator→site traffic: the protocols never address a site
+          // inside a SiteDown..SiteResync window, so a delivery there is
+          // a hardening bug (the pause/resync machinery was bypassed).
+          if (down_sites_.count(e.site) != 0) {
+            Fail(e.seq, "delivery to site " + std::to_string(e.site) +
+                            " while it is down");
+          }
+          delivered_up_words_ += e.words;
+          ++delivered_up_msgs_;
+        } else {
+          delivered_down_words_ += e.words;
+          ++delivered_down_msgs_;
+        }
+        break;
+
+      case TraceEventKind::kMsgDropped:
+        ++report_.drops;
+        sim_mode_ = true;
+        if (e.words < 1) Fail(e.seq, "dropped message below 1 word");
+        if (e.dir > 0) {
+          dropped_up_words_ += e.words;
+          ++dropped_up_msgs_;
+        } else {
+          dropped_down_words_ += e.words;
+          ++dropped_down_msgs_;
+        }
+        break;
+
+      case TraceEventKind::kSiteDown:
+        sim_mode_ = true;
+        site_set_changed_ = true;
+        if (e.site < 0 || (run_k_ > 0 && e.site >= run_k_)) {
+          Fail(e.seq, "SiteDown for invalid site");
+        } else if (!down_sites_.insert(e.site).second) {
+          Fail(e.seq, "site " + std::to_string(e.site) +
+                          " went down while already down");
+        }
+        break;
+
+      case TraceEventKind::kSiteResync:
+        ++report_.resyncs;
+        sim_mode_ = true;
+        site_set_changed_ = true;
+        if (e.words < 0) Fail(e.seq, "negative resync word count");
+        if (down_sites_.erase(e.site) == 0) {
+          Fail(e.seq, "resync for site " + std::to_string(e.site) +
+                          " which was not down");
+        }
+        break;
+
       case TraceEventKind::kRunEnd:
         report_.saw_run_end = true;
         if (e.up_words != up_words_ || e.down_words != down_words_) {
@@ -414,6 +516,28 @@ class Checker {
         if (e.up_msgs != up_msgs_ || e.down_msgs != down_msgs_) {
           Fail(e.seq, "MsgSent message counts != TrafficStats");
         }
+        // Delivery conservation: when the trace carries network events,
+        // every charged send must surface exactly once as a delivery or a
+        // drop. (Null-mode sim runs suppress network events entirely and
+        // skip this, preserving byte parity with synchronous traces.)
+        if (report_.deliveries + report_.drops > 0) {
+          if (delivered_up_words_ + dropped_up_words_ != up_words_ ||
+              delivered_down_words_ + dropped_down_words_ != down_words_) {
+            Fail(e.seq, "delivered+dropped words (" +
+                            std::to_string(delivered_up_words_ +
+                                           dropped_up_words_) +
+                            " up, " +
+                            std::to_string(delivered_down_words_ +
+                                           dropped_down_words_) +
+                            " down) != sent words (" +
+                            std::to_string(up_words_) + " up, " +
+                            std::to_string(down_words_) + " down)");
+          }
+          if (delivered_up_msgs_ + dropped_up_msgs_ != up_msgs_ ||
+              delivered_down_msgs_ + dropped_down_msgs_ != down_msgs_) {
+            Fail(e.seq, "delivered+dropped message counts != sent counts");
+          }
+        }
         break;
 
       case TraceEventKind::kKindCount:
@@ -423,6 +547,10 @@ class Checker {
 
   ReplayReport report_;
   int k_ = 0;
+  int run_k_ = 0;  ///< site count announced at RunStart (never shrinks)
+  bool sim_mode_ = false;        ///< any sim network event seen
+  bool site_set_changed_ = false;  ///< any SiteDown/SiteResync seen
+  std::set<int> down_sites_;
   bool in_round_ = false;
   int64_t round_ = 0;
   int64_t last_round_ = 0;
@@ -437,6 +565,10 @@ class Checker {
   bool have_expected_psi_ = false;
   int64_t up_words_ = 0, down_words_ = 0;
   int64_t up_msgs_ = 0, down_msgs_ = 0;
+  int64_t delivered_up_words_ = 0, delivered_down_words_ = 0;
+  int64_t delivered_up_msgs_ = 0, delivered_down_msgs_ = 0;
+  int64_t dropped_up_words_ = 0, dropped_down_words_ = 0;
+  int64_t dropped_up_msgs_ = 0, dropped_down_msgs_ = 0;
 };
 
 }  // namespace
@@ -446,8 +578,12 @@ std::string ReplayReport::Summary() const {
   out << "events=" << events << " rounds=" << rounds << " subrounds="
       << subrounds << " increments=" << increments << " flushes=" << flushes
       << " rebalances=" << rebalances << " messages=" << messages
-      << " plans=" << plans << " words=" << (up_words + down_words)
-      << (saw_run_end ? "" : " (no RunEnd totals)");
+      << " plans=" << plans << " words=" << (up_words + down_words);
+  if (deliveries + drops + resyncs > 0) {
+    out << " deliveries=" << deliveries << " drops=" << drops
+        << " resyncs=" << resyncs;
+  }
+  out << (saw_run_end ? "" : " (no RunEnd totals)");
   if (ok()) {
     out << " — all invariants hold";
   } else {

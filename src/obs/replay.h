@@ -22,6 +22,23 @@
 //    equals updates - words, and PlanChosen/PlanSite events carry sane
 //    d/γ values for the current round.
 //
+// Traces produced over the simulated network (src/sim) additionally carry
+// MsgDelivered / MsgDropped / SiteDown / SiteResync events, and the
+// checker verifies delivery-point safety on top:
+//
+//  * conservation: per direction, summed MsgSent words and messages equal
+//    summed MsgDelivered + MsgDropped words and messages (every charged
+//    attempt is accounted exactly once);
+//  * no coordinator→site delivery addresses a site inside a
+//    SiteDown..SiteResync window, and the down/up transitions alternate
+//    per site;
+//  * forced polls (SubroundEnd with a "reason": resync or timeout) are
+//    exempt from the counter>k rule but only legal in simulated runs, as
+//    are reduced-k rounds after a site-set change — k may then shrink or
+//    recover within [1, RunStart k];
+//  * outside a down window, no unreasoned increment lands on a counter
+//    total already past k (the coordinator must have polled first).
+//
 // All double comparisons are exact: the JSONL sink prints with round-trip
 // precision and the checker recomputes with the same operation order the
 // protocol used, so any mismatch is a real divergence, not rounding.
@@ -61,6 +78,9 @@ struct ReplayReport {
   int64_t messages = 0;
   int64_t plans = 0;          ///< FGM/O PlanChosen events
   int64_t plan_outcomes = 0;  ///< FGM/O PlanOutcome events
+  int64_t deliveries = 0;     ///< sim MsgDelivered events
+  int64_t drops = 0;          ///< sim MsgDropped events
+  int64_t resyncs = 0;        ///< sim SiteResync events
   int64_t up_words = 0;
   int64_t down_words = 0;
   bool saw_run_end = false;

@@ -79,6 +79,11 @@ void TimeSeries::WriteJson(JsonWriter* w) const {
     w->Field("drift_norm_max", s.drift_norm_max);
     w->Field("drift_norm_mean", s.drift_norm_mean);
     w->Field("hot_site", static_cast<int64_t>(s.hot_site));
+    w->Field("in_flight_words", s.in_flight_words);
+    w->Field("max_in_flight_words", s.max_in_flight_words);
+    w->Field("retransmit_words", s.retransmit_words);
+    w->Field("dropped_words", s.dropped_words);
+    w->Field("resyncs", s.resyncs);
     w->EndObject();
   }
   w->EndArray();

@@ -30,7 +30,7 @@ class JsonWriter;
 /// Maximum message-kind slots a snapshot carries. Matches
 /// MsgKind::kKindCount (static_asserted where both headers are visible;
 /// obs cannot include net headers — fgm_net links fgm_obs).
-inline constexpr int kSnapshotMsgKinds = 8;
+inline constexpr int kSnapshotMsgKinds = 9;
 
 /// One sampled point of a run. Flat scalars + fixed arrays only, so the
 /// ring buffer never allocates per sample beyond the deque node.
@@ -65,6 +65,13 @@ struct RunSnapshot {
   double drift_norm_max = 0.0;    ///< largest per-site drift ‖X_i‖
   double drift_norm_mean = 0.0;
   int hot_site = -1;  ///< site with the max drift norm (-1 = none)
+
+  // Simulated-network health (all zero on synchronous transports).
+  int64_t in_flight_words = 0;      ///< datagram words queued right now
+  int64_t max_in_flight_words = 0;  ///< run-wide high-water mark
+  int64_t retransmit_words = 0;     ///< cumulative RPC retransmissions
+  int64_t dropped_words = 0;        ///< cumulative words lost to drop
+  int64_t resyncs = 0;              ///< crash/rejoin handshakes so far
 };
 
 /// Bounded, thread-safe collection of RunSnapshots with JSON export.

@@ -31,6 +31,14 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "PlanSite";
     case TraceEventKind::kPlanOutcome:
       return "PlanOutcome";
+    case TraceEventKind::kMsgDelivered:
+      return "MsgDelivered";
+    case TraceEventKind::kMsgDropped:
+      return "MsgDropped";
+    case TraceEventKind::kSiteDown:
+      return "SiteDown";
+    case TraceEventKind::kSiteResync:
+      return "SiteResync";
     case TraceEventKind::kRunEnd:
       return "RunEnd";
     case TraceEventKind::kKindCount:
@@ -76,12 +84,16 @@ std::string JsonlTraceSink::EventJson(const TraceEvent& e) {
       w.Field("subround", e.subround);
       w.Field("psi", e.psi);
       w.Field("counter", e.counter);
+      // Only forced polls (resync recovery) carry a reason; ordinary
+      // counter-exhaustion polls keep the PR-2 schema bit-identical.
+      if (e.reason != nullptr) w.Field("reason", e.reason);
       break;
     case TraceEventKind::kIncrementMsg:
       w.Field("round", e.round);
       w.Field("subround", e.subround);
       w.Field("site", static_cast<int64_t>(e.site));
       w.Field("increment", e.counter);
+      if (e.reason != nullptr) w.Field("reason", e.reason);
       break;
     case TraceEventKind::kDriftFlush:
       w.Field("round", e.round);
@@ -130,6 +142,33 @@ std::string JsonlTraceSink::EventJson(const TraceEvent& e) {
       w.Field("words", e.words);
       w.Field("pred_gain", e.pred_gain);
       w.Field("actual_gain", e.actual_gain);
+      break;
+    case TraceEventKind::kMsgDelivered:
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("msg", e.label != nullptr ? e.label : "?");
+      w.Field("dir", e.dir > 0 ? "up" : "down");
+      w.Field("words", e.words);
+      w.Field("t", e.t);
+      break;
+    case TraceEventKind::kMsgDropped:
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("msg", e.label != nullptr ? e.label : "?");
+      w.Field("dir", e.dir > 0 ? "up" : "down");
+      w.Field("words", e.words);
+      w.Field("t", e.t);
+      w.Field("reason", e.reason != nullptr ? e.reason : "?");
+      break;
+    case TraceEventKind::kSiteDown:
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("t", e.t);
+      w.Field("reason", e.reason != nullptr ? e.reason : "?");
+      break;
+    case TraceEventKind::kSiteResync:
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("round", e.round);
+      w.Field("words", e.words);
+      w.Field("t", e.t);
+      w.Field("reason", e.reason != nullptr ? e.reason : "?");
       break;
     case TraceEventKind::kRunEnd:
       w.Field("events", e.count);

@@ -37,6 +37,10 @@ enum class TraceEventKind : int {
   kPlanChosen,      ///< FGM/O: round plan (full sites, τ, predicted gain)
   kPlanSite,        ///< FGM/O: per-site d_i with the α/β/γ rate estimates
   kPlanOutcome,     ///< FGM/O: round's actual words/updates vs prediction
+  kMsgDelivered,    ///< sim: a queued wire message reached its endpoint
+  kMsgDropped,      ///< sim: a wire message was lost (loss or down target)
+  kSiteDown,        ///< sim: a site crashed or its link went down
+  kSiteResync,      ///< coordinator: crash/rejoin handshake completed
   kRunEnd,          ///< driver: final TrafficStats totals
   kKindCount,
 };
@@ -72,7 +76,9 @@ struct TraceEvent {
   double pred_gain = 0.0;    ///< PlanChosen/PlanOutcome: predicted gain g−C
   double pred_rate = 0.0;    ///< PlanChosen: predicted gain rate (g−C)/τ
   double actual_gain = 0.0;  ///< PlanOutcome: measured gain for the round
+  int64_t t = 0;             ///< sim tick (delivery/drop/fault events)
   const char* label = nullptr;  ///< static string: msg kind, protocol name
+  const char* reason = nullptr;  ///< static string: drop cause, poll cause
 };
 
 /// Event consumer. Emitters call Emit(), which stamps the sequence number

@@ -1,0 +1,300 @@
+#include "sim/event_network.h"
+
+#include <cmath>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace fgm {
+namespace sim {
+
+namespace {
+
+// Runaway backstop for the RPC retransmission loop: with drop < 1 the
+// expected attempt count is 1/(1-drop); ten thousand failures in a row
+// means the configuration (or the generator) is broken.
+constexpr int kMaxRpcAttempts = 10000;
+
+}  // namespace
+
+EventNetwork::EventNetwork(int sites, const NetSimConfig& config)
+    : Transport(sites),
+      config_(config),
+      rng_(config.seed),
+      site_up_(static_cast<size_t>(sites), 1) {
+  FGM_CHECK(ParseLatencySpec(config.latency, &latency_));
+  FGM_CHECK(config.drop >= 0.0 && config.drop < 1.0);
+  FGM_CHECK_GE(config.bandwidth, 0);
+  FGM_CHECK_GE(config.reorder_window, 0);
+  FGM_CHECK_GE(config.retransmit_timeout, 1);
+  FGM_CHECK_GE(config.silence_timeout, 1);
+  FGM_CHECK_GE(config.dead_deadline, 1);
+  FGM_CHECK(ParseFaultPlan(config.fault_plan, sites, &transitions_));
+  null_ = latency_.kind == LatencySpec::Kind::kZero && config.drop == 0.0 &&
+          transitions_.empty() && config.bandwidth == 0 &&
+          config.reorder_window == 0;
+}
+
+void EventNetwork::set_trace(TraceSink* trace) {
+  trace_ = trace;
+  network_.set_trace(trace);
+}
+
+bool EventNetwork::SiteUp(int site) const {
+  FGM_CHECK(site >= 0 && site < sites());
+  return site_up_[static_cast<size_t>(site)] != 0;
+}
+
+void EventNetwork::Advance(int64_t ticks) {
+  FGM_CHECK_GE(ticks, 0);
+  now_ += ticks;
+}
+
+void EventNetwork::Charge(int site, MsgKind kind, int dir, int64_t words) {
+  if (dir > 0) {
+    network_.Upstream(site, kind, words);
+  } else {
+    network_.Downstream(site, kind, words);
+  }
+}
+
+bool EventNetwork::SampleDrop() {
+  return config_.drop > 0.0 && rng_.NextDouble() < config_.drop;
+}
+
+int64_t EventNetwork::SampleLatency() {
+  switch (latency_.kind) {
+    case LatencySpec::Kind::kZero:
+      return 0;
+    case LatencySpec::Kind::kFixed:
+      return static_cast<int64_t>(latency_.a);
+    case LatencySpec::Kind::kUniform:
+      return rng_.NextInt(static_cast<int64_t>(latency_.a),
+                          static_cast<int64_t>(latency_.b));
+    case LatencySpec::Kind::kExp:
+      return static_cast<int64_t>(
+          std::floor(rng_.NextExponential(1.0 / latency_.a)));
+  }
+  FGM_CHECK(false);
+  return 0;
+}
+
+int64_t EventNetwork::TransferTicks(int64_t words) const {
+  if (config_.bandwidth <= 0) return 0;
+  return (words + config_.bandwidth - 1) / config_.bandwidth;
+}
+
+void EventNetwork::EmitNetEvent(TraceEventKind kind, int site,
+                                MsgKind msg_kind, int dir, int64_t words,
+                                int64_t t, const char* reason) {
+  if (trace_ == nullptr || null_) return;
+  TraceEvent e;
+  e.kind = kind;
+  e.site = site;
+  e.label = MsgKindName(msg_kind);
+  e.dir = dir;
+  e.words = words;
+  e.t = t;
+  e.reason = reason;
+  trace_->Emit(e);
+}
+
+template <typename Msg, typename DecodeFn>
+Msg EventNetwork::CheckedRoundTrip(const Msg& msg, int64_t charged_words,
+                                   DecodeFn decode) {
+  WordBuffer wire;
+  msg.Encode(&wire);
+  FGM_CHECK_EQ(static_cast<int64_t>(wire.size_words()), charged_words);
+  Msg decoded = decode(wire);
+  WordBuffer reencoded;
+  decoded.Encode(&reencoded);
+  FGM_CHECK(wire.SameBits(reencoded));
+  return decoded;
+}
+
+template <typename Msg, typename DecodeFn>
+Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
+                      int64_t charged_words, DecodeFn decode) {
+  // The protocols never address a down site over the control plane; the
+  // pause/resync machinery (core/fgm_protocol.cc) guarantees it.
+  FGM_CHECK(SiteUp(site));
+  Msg decoded = CheckedRoundTrip(msg, charged_words, decode);
+  for (int attempt = 0;; ++attempt) {
+    FGM_CHECK_LT(attempt, kMaxRpcAttempts);
+    Charge(site, kind, dir, charged_words);
+    if (attempt > 0) {
+      ++net_stats_.retransmitted_msgs;
+      net_stats_.retransmitted_words += charged_words;
+    }
+    if (SampleDrop()) {
+      ++net_stats_.dropped_msgs;
+      net_stats_.dropped_words += charged_words;
+      EmitNetEvent(TraceEventKind::kMsgDropped, site, kind, dir,
+                   charged_words, now_, "loss");
+      // The sender detects the loss by timeout and resends.
+      Advance(config_.retransmit_timeout);
+      continue;
+    }
+    const int64_t delay = SampleLatency() + TransferTicks(charged_words);
+    Advance(delay);
+    ++net_stats_.delivered_msgs;
+    net_stats_.delivered_words += charged_words;
+    EmitNetEvent(TraceEventKind::kMsgDelivered, site, kind, dir,
+                 charged_words, now_, nullptr);
+    return decoded;
+  }
+}
+
+SafeZoneMsg EventNetwork::ShipSafeZone(int site, SafeZoneMsg msg) {
+  const size_t dim = msg.reference.dim();
+  return Rpc(site, MsgKind::kSafeZone, +1, msg, msg.Words(),
+             [dim](const WordBuffer& in) {
+               return SafeZoneMsg::Decode(in, dim);
+             });
+}
+
+CheapZoneMsg EventNetwork::ShipCheapZone(int site, CheapZoneMsg msg) {
+  // Cheap bounds are safe-zone shipments in the cost breakdown.
+  return Rpc(site, MsgKind::kSafeZone, +1, msg, CheapZoneMsg::kWords,
+             [](const WordBuffer& in) { return CheapZoneMsg::Decode(in); });
+}
+
+QuantumMsg EventNetwork::ShipQuantum(int site, QuantumMsg msg) {
+  return Rpc(site, MsgKind::kQuantum, +1, msg, QuantumMsg::kWords,
+             [](const WordBuffer& in) { return QuantumMsg::Decode(in); });
+}
+
+LambdaMsg EventNetwork::ShipLambda(int site, LambdaMsg msg) {
+  return Rpc(site, MsgKind::kLambda, +1, msg, LambdaMsg::kWords,
+             [](const WordBuffer& in) { return LambdaMsg::Decode(in); });
+}
+
+ControlMsg EventNetwork::ShipControl(int site, ControlMsg msg) {
+  return Rpc(site, MsgKind::kControl, +1, msg, ControlMsg::kWords,
+             [](const WordBuffer& in) { return ControlMsg::Decode(in); });
+}
+
+ResyncMsg EventNetwork::ShipResync(int site, ResyncMsg msg) {
+  const size_t dim = msg.reference.dim();
+  return Rpc(site, MsgKind::kResync, +1, msg, msg.Words(),
+             [dim](const WordBuffer& in) {
+               return ResyncMsg::Decode(in, dim);
+             });
+}
+
+ControlMsg EventNetwork::SendControl(int site, ControlMsg msg) {
+  return Rpc(site, MsgKind::kControl, -1, msg, ControlMsg::kWords,
+             [](const WordBuffer& in) { return ControlMsg::Decode(in); });
+}
+
+CounterMsg EventNetwork::SendCounter(int site, CounterMsg msg) {
+  return Rpc(site, MsgKind::kCounter, -1, msg, CounterMsg::kWords,
+             [](const WordBuffer& in) { return CounterMsg::Decode(in); });
+}
+
+PhiValueMsg EventNetwork::SendPhiValue(int site, PhiValueMsg msg) {
+  return Rpc(site, MsgKind::kPhiValue, -1, msg, PhiValueMsg::kWords,
+             [](const WordBuffer& in) { return PhiValueMsg::Decode(in); });
+}
+
+DriftFlushMsg EventNetwork::SendDriftFlush(int site, DriftFlushMsg msg) {
+  return Rpc(site, MsgKind::kDriftFlush, -1, msg, msg.Words(),
+             [](const WordBuffer& in) { return DriftFlushMsg::Decode(in); });
+}
+
+RawUpdateMsg EventNetwork::SendRawUpdate(int site, RawUpdateMsg msg) {
+  return Rpc(site, MsgKind::kRawUpdate, -1, msg, msg.Words(),
+             [](const WordBuffer& in) {
+               return RawUpdateMsg::Decode(in, 0);
+             });
+}
+
+void EventNetwork::PostCounter(int site, CounterMsg msg, int64_t round,
+                               int64_t subround) {
+  FGM_CHECK(SiteUp(site));
+  const CounterMsg decoded = CheckedRoundTrip(
+      msg, CounterMsg::kWords,
+      [](const WordBuffer& in) { return CounterMsg::Decode(in); });
+  Charge(site, MsgKind::kCounter, -1, CounterMsg::kWords);
+  if (SampleDrop()) {
+    ++net_stats_.dropped_msgs;
+    net_stats_.dropped_words += CounterMsg::kWords;
+    EmitNetEvent(TraceEventKind::kMsgDropped, site, MsgKind::kCounter, -1,
+                 CounterMsg::kWords, now_, "loss");
+    return;  // no retransmission: cumulative counters self-heal
+  }
+  int64_t delay = SampleLatency() + TransferTicks(CounterMsg::kWords);
+  if (config_.reorder_window > 0) {
+    delay += rng_.NextInt(0, config_.reorder_window);
+  }
+  Envelope env;
+  env.due = now_ + delay;
+  env.seq = next_seq_++;
+  env.delivery.site = site;
+  env.delivery.msg = decoded;
+  env.delivery.round = round;
+  env.delivery.subround = subround;
+  env.delivery.due = env.due;
+  queue_.push(env);
+  net_stats_.in_flight_words += CounterMsg::kWords;
+  if (net_stats_.in_flight_words > net_stats_.max_in_flight_words) {
+    net_stats_.max_in_flight_words = net_stats_.in_flight_words;
+  }
+}
+
+bool EventNetwork::PopCounter(CounterDelivery* out) {
+  if (queue_.empty() || queue_.top().due > now_) return false;
+  *out = queue_.top().delivery;
+  queue_.pop();
+  net_stats_.in_flight_words -= CounterMsg::kWords;
+  ++net_stats_.delivered_msgs;
+  net_stats_.delivered_words += CounterMsg::kWords;
+  EmitNetEvent(TraceEventKind::kMsgDelivered, out->site, MsgKind::kCounter,
+               -1, CounterMsg::kWords, out->due, nullptr);
+  return true;
+}
+
+bool EventNetwork::PopFault(FaultNotice* out) {
+  if (next_transition_ >= transitions_.size() ||
+      transitions_[next_transition_].at > now_) {
+    return false;
+  }
+  const FaultTransition& t = transitions_[next_transition_++];
+  site_up_[static_cast<size_t>(t.site)] = t.up ? 1 : 0;
+  out->site = t.site;
+  out->up = t.up;
+  out->reason = t.reason;
+  if (!t.up) {
+    ++net_stats_.site_downs;
+    if (trace_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kSiteDown;
+      e.site = t.site;
+      e.t = t.at;
+      e.reason = t.reason;
+      trace_->Emit(e);
+    }
+  }
+  return true;
+}
+
+void EventNetwork::FinishRun() {
+  // Let every in-flight datagram land (the protocol drains after this),
+  // and dispatch any fault transition already in the past.
+  if (!queue_.empty()) {
+    // The latest due tick is not necessarily at the top; advance until
+    // the queue can fully drain.
+    std::priority_queue<Envelope, std::vector<Envelope>, EnvelopeLater>
+        copy = queue_;
+    int64_t last = now_;
+    while (!copy.empty()) {
+      if (copy.top().due > last) last = copy.top().due;
+      copy.pop();
+    }
+    if (last > now_) Advance(last - now_);
+  }
+  net_stats_.final_tick = now_;
+}
+
+}  // namespace sim
+}  // namespace fgm

@@ -1,0 +1,196 @@
+// Discrete-event network simulator behind the Transport interface.
+//
+// EventNetwork carries the *real* serialized wire messages of
+// net/wire.h over a simulated star network with per-link latency
+// distributions, bandwidth caps, reordering jitter, probabilistic drop
+// and scheduled site outages — every message is encoded, size-checked
+// against the charged word count, decoded and bit-verified exactly like
+// the strict SerializingTransport, then delayed (and possibly lost)
+// before delivery.
+//
+// Two delivery disciplines:
+//
+//  * RPC (all Ship* / Send* calls): the caller blocks while the simulated
+//    clock advances by the sampled delay; a lost message is detected by
+//    timeout and retransmitted (each attempt is charged — retransmissions
+//    are real words on the wire). This models the request/response
+//    control plane (zone shipments, polls, flushes).
+//  * Async (PostCounter): FGM's subround counter increments are
+//    fire-and-forget datagrams. They sit in the event queue until their
+//    due tick and are drained by the protocol at safe points
+//    (PopCounter). Lost datagrams are NOT retransmitted — sites send
+//    cumulative per-subround counters, so a later datagram or a
+//    coordinator re-poll heals the gap.
+//
+// Determinism: one seeded generator drives drops, latencies and jitter in
+// program order; the same config and stream reproduce a run bit-exactly.
+// Fault-plan transitions take effect when the protocol drains them
+// (PopFault) — i.e. at record granularity — never in the middle of an
+// RPC, which keeps the site set stable across a multi-message exchange.
+//
+// Null mode (zero latency, no loss, no faults, no jitter/bandwidth):
+// every datagram is due immediately, no randomness is consumed, and the
+// MsgDelivered/MsgDropped trace events are suppressed, so traces and
+// TrafficStats are bit-identical to the synchronous transports.
+
+#ifndef FGM_SIM_EVENT_NETWORK_H_
+#define FGM_SIM_EVENT_NETWORK_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/net_config.h"
+#include "util/rng.h"
+
+namespace fgm {
+
+class TraceSink;
+enum class TraceEventKind : int;
+
+namespace sim {
+
+/// Aggregate counters for a simulated run. Message/word counts obey
+/// conservation per direction: sent = delivered + dropped (the replay
+/// checker re-verifies this from the trace).
+struct SimNetStats {
+  int64_t delivered_msgs = 0;
+  int64_t delivered_words = 0;
+  int64_t dropped_msgs = 0;
+  int64_t dropped_words = 0;
+  int64_t retransmitted_msgs = 0;  ///< RPC attempts after the first
+  int64_t retransmitted_words = 0;
+  int64_t stale_msgs = 0;   ///< counter datagrams from a closed subround
+  int64_t timeouts = 0;     ///< coordinator silence-timeout re-polls
+  int64_t resyncs = 0;      ///< completed crash/rejoin handshakes
+  int64_t site_downs = 0;   ///< down transitions dispatched
+  int64_t in_flight_words = 0;      ///< datagram words currently queued
+  int64_t max_in_flight_words = 0;  ///< high-water mark of the above
+  int64_t final_tick = 0;           ///< clock at FinishRun
+};
+
+/// A counter datagram handed to the protocol at its due tick.
+struct CounterDelivery {
+  int site = 0;
+  CounterMsg msg{0};
+  int64_t round = 0;     ///< epoch the datagram was sent in
+  int64_t subround = 0;
+  int64_t due = 0;       ///< wire arrival tick
+};
+
+/// A fault-plan transition handed to the protocol at a safe point.
+struct FaultNotice {
+  int site = 0;
+  bool up = false;
+  const char* reason = "crash";
+};
+
+class EventNetwork final : public Transport {
+ public:
+  EventNetwork(int sites, const NetSimConfig& config);
+
+  const char* name() const override { return "event-sim"; }
+  void set_trace(TraceSink* trace) override;
+
+  // Transport interface — blocking RPCs over the simulated links.
+  SafeZoneMsg ShipSafeZone(int site, SafeZoneMsg msg) override;
+  CheapZoneMsg ShipCheapZone(int site, CheapZoneMsg msg) override;
+  QuantumMsg ShipQuantum(int site, QuantumMsg msg) override;
+  LambdaMsg ShipLambda(int site, LambdaMsg msg) override;
+  ControlMsg ShipControl(int site, ControlMsg msg) override;
+  ResyncMsg ShipResync(int site, ResyncMsg msg) override;
+  ControlMsg SendControl(int site, ControlMsg msg) override;
+  CounterMsg SendCounter(int site, CounterMsg msg) override;
+  PhiValueMsg SendPhiValue(int site, PhiValueMsg msg) override;
+  DriftFlushMsg SendDriftFlush(int site, DriftFlushMsg msg) override;
+  RawUpdateMsg SendRawUpdate(int site, RawUpdateMsg msg) override;
+
+  /// Fire-and-forget counter datagram (site → coordinator). Charges one
+  /// word, samples loss and delay, and queues the delivery. The caller
+  /// must be an up site.
+  void PostCounter(int site, CounterMsg msg, int64_t round,
+                   int64_t subround);
+
+  /// Pops the next datagram whose due tick has been reached, in
+  /// (due, send order) — jitter beyond the base latency produces genuine
+  /// reordering. Returns false when nothing is deliverable yet.
+  bool PopCounter(CounterDelivery* out);
+
+  /// Pops the next fault transition scheduled at or before the current
+  /// tick, applying its link-state flip (and emitting SiteDown for down
+  /// flips). Returns false when none is pending.
+  bool PopFault(FaultNotice* out);
+
+  /// Advances the simulated clock (protocols tick once per record; RPCs
+  /// advance by their sampled delays internally).
+  void Advance(int64_t ticks);
+  int64_t now() const { return now_; }
+
+  /// Link state as of the last drained transition.
+  bool SiteUp(int site) const;
+
+  /// Advances the clock past the last queued datagram so a final drain
+  /// delivers everything, and records the final tick.
+  void FinishRun();
+
+  bool null_mode() const { return null_; }
+  const NetSimConfig& config() const { return config_; }
+  const SimNetStats& net_stats() const { return net_stats_; }
+
+  // Protocol-side accounting surfaced with the network counters.
+  void NoteTimeout() { ++net_stats_.timeouts; }
+  void NoteResync() { ++net_stats_.resyncs; }
+  void NoteStale() { ++net_stats_.stale_msgs; }
+
+ private:
+  struct Envelope {
+    int64_t due = 0;
+    int64_t seq = 0;
+    CounterDelivery delivery;
+  };
+  struct EnvelopeLater {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Strict encode → size-check → charge → decode → bit-verify, plus the
+  /// simulated delay and drop/retransmit loop. `dir` is +1 upstream
+  /// (coordinator → site), -1 downstream.
+  template <typename Msg, typename DecodeFn>
+  Msg Rpc(int site, MsgKind kind, int dir, const Msg& msg,
+          int64_t charged_words, DecodeFn decode);
+
+  /// Encode/verify without network semantics (shared by Rpc/PostCounter).
+  template <typename Msg, typename DecodeFn>
+  Msg CheckedRoundTrip(const Msg& msg, int64_t charged_words,
+                       DecodeFn decode);
+
+  void Charge(int site, MsgKind kind, int dir, int64_t words);
+  bool SampleDrop();
+  int64_t SampleLatency();
+  int64_t TransferTicks(int64_t words) const;
+  void EmitNetEvent(TraceEventKind kind, int site, MsgKind msg_kind,
+                    int dir, int64_t words, int64_t t, const char* reason);
+
+  NetSimConfig config_;
+  LatencySpec latency_;
+  bool null_ = false;
+  int64_t now_ = 0;
+  int64_t next_seq_ = 0;
+  Xoshiro256ss rng_;
+  std::vector<char> site_up_;
+  std::vector<FaultTransition> transitions_;
+  size_t next_transition_ = 0;
+  std::priority_queue<Envelope, std::vector<Envelope>, EnvelopeLater>
+      queue_;
+  TraceSink* trace_ = nullptr;
+  SimNetStats net_stats_;
+};
+
+}  // namespace sim
+}  // namespace fgm
+
+#endif  // FGM_SIM_EVENT_NETWORK_H_

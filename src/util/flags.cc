@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/check.h"
@@ -56,6 +57,41 @@ bool Flags::GetBool(const std::string& name, bool default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   return it->second != "false" && it->second != "0";
+}
+
+int64_t Flags::GetCount(const std::string& name,
+                        int64_t default_value) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + " expects an integer, got \"" +
+                      it->second + "\"");
+    return default_value;
+  }
+  if (value < 0) {
+    errors_.push_back("--" + name + " must be non-negative, got " +
+                      it->second);
+    return default_value;
+  }
+  return value;
+}
+
+bool Flags::Validate(const char* usage) const {
+  std::vector<std::string> problems = errors_;
+  for (const std::string& name : Unparsed()) {
+    problems.push_back("unknown flag --" + name);
+  }
+  if (problems.empty()) return true;
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "%s\n", p.c_str());
+  }
+  if (usage != nullptr && usage[0] != '\0') {
+    std::fprintf(stderr, "usage: %s\n", usage);
+  }
+  return false;
 }
 
 std::vector<std::string> Flags::Unparsed() const {

@@ -2,7 +2,9 @@
 //
 // Accepts `--name=value` and `--name value` forms plus bare `--name` for
 // booleans. Unknown flags are collected and reported by Unparsed() so
-// binaries can reject typos.
+// binaries can reject typos; count-like options read through GetCount()
+// reject negative or non-numeric values, and Validate() turns either
+// problem into a usage message on stderr.
 
 #ifndef FGM_UTIL_FLAGS_H_
 #define FGM_UTIL_FLAGS_H_
@@ -26,6 +28,17 @@ class Flags {
                         const std::string& default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
 
+  /// Like GetInt, but for count-like options where a negative (or
+  /// non-numeric) value is a usage error: the bad value is recorded and
+  /// surfaced by Validate(), and the default is returned in its place.
+  int64_t GetCount(const std::string& name, int64_t default_value) const;
+
+  /// True when every provided flag was consumed by a getter and every
+  /// GetCount value was valid. Otherwise prints one line per problem
+  /// (unknown flag / bad value) followed by `usage` to stderr and
+  /// returns false; callers exit with a usage error.
+  bool Validate(const char* usage) const;
+
   /// Positional (non-flag) arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -35,6 +48,7 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> read_;
+  mutable std::vector<std::string> errors_;
   std::vector<std::string> positional_;
 };
 

@@ -15,6 +15,7 @@
 #include "driver/runner.h"
 #include "gm/gm_protocol.h"
 #include "net/transport.h"
+#include "net/wire.h"
 #include "stream/window.h"
 #include "stream/worldcup.h"
 
@@ -261,6 +262,72 @@ TEST(CentralParity, CountingAndSerializingRunsAreBitIdentical) {
   // baseline's normalized cost stays exactly 1 under strict accounting.
   EXPECT_EQ(counting.traffic().downstream_words,
             counting.traffic().downstream_messages);
+}
+
+// ---------------------------------------------------------------------
+// Decode errors fail loudly. A corrupted or truncated wire message must
+// never be silently coerced into a plausible value: every decoder aborts
+// through FGM_CHECK on the first inconsistent word.
+
+TEST(WireDecodeDeath, TruncatedSafeZonePayload) {
+  WordBuffer wire;
+  SafeZoneMsg{RealVector{1.0, 2.0, 3.0}}.Encode(&wire);
+  // The receiver expects the query dimension; a 3-word payload for a
+  // 5-dim zone is a truncated message.
+  EXPECT_DEATH(SafeZoneMsg::Decode(wire, 5), "FGM_CHECK failed");
+}
+
+TEST(WireDecodeDeath, TruncatedResyncPayload) {
+  ResyncMsg msg;
+  msg.reference = RealVector{1.0, 2.0};
+  msg.theta = -0.5;
+  msg.lambda = 1.0;
+  msg.round = 3;
+  msg.subround = 1;
+  WordBuffer wire;
+  msg.Encode(&wire);  // 2 + 4 words
+  EXPECT_DEATH(ResyncMsg::Decode(wire, 4), "FGM_CHECK failed");
+}
+
+TEST(WireDecodeDeath, CorruptedControlOpByte) {
+  WordBuffer wire;
+  wire.PutCount(99);  // not a ControlOp
+  EXPECT_DEATH(ControlMsg::Decode(wire), "FGM_CHECK failed");
+}
+
+TEST(WireDecodeDeath, EmptyControlPayload) {
+  WordBuffer wire;
+  EXPECT_DEATH(ControlMsg::Decode(wire), "FGM_CHECK failed");
+}
+
+TEST(WireDecodeDeath, DriftFlushClaimsMoreUpdatesThanEncoded) {
+  // Verbatim header announcing 3 raw updates, but only one on the wire.
+  WordBuffer wire;
+  wire.PutCount(-3);
+  RawUpdateMsg u;
+  u.key = 7;
+  u.Encode(&wire);
+  EXPECT_DEATH(DriftFlushMsg::Decode(wire), "FGM_CHECK failed");
+}
+
+TEST(WireDecodeDeath, DriftFlushLengthMismatchTrailingWords) {
+  // Correct raw updates followed by stray words the header doesn't cover.
+  WordBuffer wire;
+  wire.PutCount(-1);
+  RawUpdateMsg u;
+  u.key = 7;
+  u.Encode(&wire);
+  wire.PutReal(0.0);  // junk past the declared payload
+  EXPECT_DEATH(DriftFlushMsg::Decode(wire), "FGM_CHECK failed");
+}
+
+TEST(WireDecodeDeath, NonCanonicalRawUpdateExtensionWord) {
+  // Extension flag set but the extension word carries no high key bits —
+  // a canonical encoder never produces this.
+  WordBuffer wire;
+  wire.PutBits(uint64_t{2});  // flags: extended=1, delete=0, key=0
+  wire.PutBits(uint64_t{0});
+  EXPECT_DEATH(RawUpdateMsg::Decode(wire, 0), "FGM_CHECK failed");
 }
 
 // ---------------------------------------------------------------------

@@ -1,13 +1,16 @@
-// Unit tests for the util module: RNG, hashing, vectors, subsets, stats.
+// Unit tests for the util module: RNG, hashing, vectors, subsets, stats,
+// command-line flags.
 
 #include <algorithm>
 #include <cmath>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/flags.h"
 #include "util/hash.h"
 #include "util/real_vector.h"
 #include "util/rng.h"
@@ -230,6 +233,66 @@ TEST(CountHistogram, QuantilesAndOverflow) {
   EXPECT_EQ(h.max_observed(), 4);
   h.Add(1000);  // overflow bucket
   EXPECT_EQ(h.max_observed(), 1000);
+}
+
+/// Builds a Flags instance from a literal argv (argv[0] is the binary).
+Flags MakeFlags(std::vector<std::string> args) {
+  args.insert(args.begin(), "test_binary");
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesBothForms) {
+  Flags f = MakeFlags({"--sites=5", "pos", "--eps", "0.25", "--strict"});
+  EXPECT_EQ(f.GetInt("sites", 0), 5);
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.0), 0.25);
+  EXPECT_TRUE(f.GetBool("strict", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos");
+  EXPECT_TRUE(f.Validate(""));
+}
+
+TEST(Flags, ValidateRejectsUnknownFlags) {
+  Flags f = MakeFlags({"--sites=5", "--sties=7"});
+  EXPECT_EQ(f.GetInt("sites", 0), 5);
+  // "--sties" was never read by a getter: Validate must fail on the typo.
+  EXPECT_FALSE(f.Validate("usage text"));
+}
+
+TEST(Flags, GetCountAcceptsValidValues) {
+  Flags f = MakeFlags({"--updates=400000", "--threads=8"});
+  EXPECT_EQ(f.GetCount("updates", 0), 400000);
+  EXPECT_EQ(f.GetCount("threads", 1), 8);
+  EXPECT_EQ(f.GetCount("absent", 42), 42);
+  EXPECT_TRUE(f.Validate(""));
+}
+
+TEST(Flags, GetCountRejectsNegativeValues) {
+  Flags f = MakeFlags({"--updates=-3"});
+  // The default is returned in place of the rejected value...
+  EXPECT_EQ(f.GetCount("updates", 7), 7);
+  // ...and Validate reports the usage error.
+  EXPECT_FALSE(f.Validate(""));
+}
+
+TEST(Flags, GetCountRejectsNonNumericValues) {
+  Flags f = MakeFlags({"--threads=many"});
+  EXPECT_EQ(f.GetCount("threads", 1), 1);
+  EXPECT_FALSE(f.Validate(""));
+}
+
+TEST(Flags, GetCountRejectsTrailingGarbage) {
+  Flags f = MakeFlags({"--width=300x"});
+  EXPECT_EQ(f.GetCount("width", 5), 5);
+  EXPECT_FALSE(f.Validate(""));
+}
+
+TEST(Flags, GetIntStillPermitsNegatives) {
+  // Signed options (offsets, deltas) go through GetInt unchanged.
+  Flags f = MakeFlags({"--delta=-12"});
+  EXPECT_EQ(f.GetInt("delta", 0), -12);
+  EXPECT_TRUE(f.Validate(""));
 }
 
 TEST(CountHistogram, QuantileZeroIsMinimumObservedBucket) {

@@ -7,9 +7,12 @@
 // Renders the observability triple a runner invocation writes
 // (--trace_out / --metrics_out / --timeseries_out) into a human-readable
 // run report: per-round communication table, site-skew summary, FGM/O
-// optimizer audit (predicted vs actual gain per round) and parallel
-// speculation efficiency. With --json_out the same report is written as
-// machine-readable JSON.
+// optimizer audit (predicted vs actual gain per round), parallel
+// speculation efficiency, and — for runs over the simulated network
+// (src/sim) — delivery/drop/retransmit/resync counters, with a flag on
+// any round whose in-flight backlog exceeded the 3k+1-word subround
+// budget. With --json_out the same report is written as machine-readable
+// JSON.
 //
 // The three files describe one run three ways, so the report cross-checks
 // them against each other bit-exactly (the trace_check discipline):
@@ -69,6 +72,8 @@ struct RoundStats {
   std::array<int64_t, kKinds> words_by_kind{};
   int64_t subrounds = 0;
   int64_t rebalances = 0;
+  int64_t net_dropped_words = 0;  ///< sim MsgDropped words in this round
+  int64_t resyncs = 0;            ///< sim SiteResync events in this round
   double psi_start = 0.0;
 
   bool has_plan = false;  ///< saw PlanChosen
@@ -102,6 +107,21 @@ struct TraceSummary {
   int64_t lines = 0;
   std::vector<RoundStats> rounds;
   std::vector<SiteStats> sites;
+
+  // Simulated-network tallies (src/sim); all zero on synchronous runs and
+  // in the simulator's null mode (which suppresses network events).
+  int64_t net_delivered_msgs = 0;
+  int64_t net_delivered_words = 0;
+  int64_t net_dropped_msgs = 0;
+  int64_t net_dropped_words = 0;
+  int64_t net_site_downs = 0;
+  int64_t net_resyncs = 0;
+  int64_t net_resync_words = 0;
+  bool has_net() const {
+    return net_delivered_msgs + net_dropped_msgs + net_site_downs +
+               net_resyncs >
+           0;
+  }
 
   bool saw_run_end = false;
   int64_t run_events = 0;  ///< RunEnd's count: total trace events emitted
@@ -229,6 +249,23 @@ bool ReadTrace(const std::string& path, TraceSummary* out,
         r.actual_gain = e.actual_gain;
         break;
       }
+      case fgm::TraceEventKind::kMsgDelivered:
+        ++out->net_delivered_msgs;
+        out->net_delivered_words += e.words;
+        break;
+      case fgm::TraceEventKind::kMsgDropped:
+        ++out->net_dropped_msgs;
+        out->net_dropped_words += e.words;
+        out->Round(current_round).net_dropped_words += e.words;
+        break;
+      case fgm::TraceEventKind::kSiteDown:
+        ++out->net_site_downs;
+        break;
+      case fgm::TraceEventKind::kSiteResync:
+        ++out->net_resyncs;
+        out->net_resync_words += e.words;
+        ++out->Round(e.round).resyncs;
+        break;
       case fgm::TraceEventKind::kRunEnd:
         out->saw_run_end = true;
         out->run_events = e.count;
@@ -327,6 +364,29 @@ void CheckMetrics(const TraceSummary& t, const fgm::JsonNode& m, Checker* c) {
   if (rounds != nullptr && t.last_round() > 0) {
     c->ExpectEqInt(rounds->AsInt(), t.last_round(),
                    "metrics run.rounds vs trace RoundStart count");
+  }
+  // Simulated-network runs: metrics.json's "net" section (SimNetStats)
+  // must re-state the trace's delivery/drop/fault tallies exactly. Null
+  // mode suppresses network events, so only compare when the trace has
+  // them.
+  const fgm::JsonNode* net = m.Find("net");
+  if (net != nullptr && t.has_net()) {
+    auto net_int = [&](const char* name) {
+      const fgm::JsonNode* v = net->Find(name);
+      return v != nullptr ? v->AsInt() : -1;
+    };
+    c->ExpectEqInt(net_int("delivered_msgs"), t.net_delivered_msgs,
+                   "metrics net.delivered_msgs vs trace MsgDelivered count");
+    c->ExpectEqInt(net_int("delivered_words"), t.net_delivered_words,
+                   "metrics net.delivered_words vs trace MsgDelivered words");
+    c->ExpectEqInt(net_int("dropped_msgs"), t.net_dropped_msgs,
+                   "metrics net.dropped_msgs vs trace MsgDropped count");
+    c->ExpectEqInt(net_int("dropped_words"), t.net_dropped_words,
+                   "metrics net.dropped_words vs trace MsgDropped words");
+    c->ExpectEqInt(net_int("site_downs"), t.net_site_downs,
+                   "metrics net.site_downs vs trace SiteDown count");
+    c->ExpectEqInt(net_int("resyncs"), t.net_resyncs,
+                   "metrics net.resyncs vs trace SiteResync count");
   }
   const fgm::JsonNode* by_kind = m.Find("words_by_kind");
   c->Expect(by_kind != nullptr, "metrics.json has no words_by_kind");
@@ -581,6 +641,82 @@ void PrintOptimizerAudit(const TraceSummary& t, int64_t max_rounds) {
       static_cast<long long>(audited));
 }
 
+/// Simulated-network health: counters from the trace and metrics.json,
+/// plus a flag on every round whose end-of-round in-flight backlog
+/// exceeded the 3k+1-word subround budget (2k quantum/poll words + k
+/// counter increments + 1 — more than one subround's worth of counter
+/// traffic still queued means the network cannot keep up with the
+/// protocol's cadence).
+void PrintNetwork(const TraceSummary& t, const fgm::JsonNode* m,
+                  const fgm::JsonNode* ts) {
+  const fgm::JsonNode* net = m != nullptr ? m->Find("net") : nullptr;
+  if (!t.has_net() && net == nullptr) return;
+  fgm::PrintBanner("Simulated network");
+  std::printf(
+      "delivered: msgs=%lld words=%lld   dropped: msgs=%lld words=%lld\n"
+      "site_downs=%lld  resyncs=%lld (resync words=%lld)\n",
+      static_cast<long long>(t.net_delivered_msgs),
+      static_cast<long long>(t.net_delivered_words),
+      static_cast<long long>(t.net_dropped_msgs),
+      static_cast<long long>(t.net_dropped_words),
+      static_cast<long long>(t.net_site_downs),
+      static_cast<long long>(t.net_resyncs),
+      static_cast<long long>(t.net_resync_words));
+  if (net != nullptr) {
+    auto net_int = [&](const char* name) {
+      const fgm::JsonNode* v = net->Find(name);
+      return static_cast<long long>(v != nullptr ? v->AsInt() : 0);
+    };
+    std::printf(
+        "retransmitted: msgs=%lld words=%lld  stale=%lld  timeouts=%lld\n"
+        "max_in_flight_words=%lld  final_tick=%lld\n",
+        net_int("retransmitted_msgs"), net_int("retransmitted_words"),
+        net_int("stale_msgs"), net_int("timeouts"),
+        net_int("max_in_flight_words"), net_int("final_tick"));
+  }
+
+  const int64_t budget = 3 * static_cast<int64_t>(t.k) + 1;
+  int64_t flagged = 0;
+  if (ts != nullptr) {
+    const fgm::JsonNode* samples = ts->Find("samples");
+    if (samples != nullptr &&
+        samples->type == fgm::JsonNode::Type::kArray) {
+      for (const fgm::JsonNode& s : samples->items) {
+        const fgm::JsonNode* kind = s.Find("kind");
+        if (kind == nullptr || kind->type != fgm::JsonNode::Type::kString ||
+            kind->str != "round") {
+          continue;
+        }
+        const fgm::JsonNode* in_flight = s.Find("in_flight_words");
+        if (in_flight == nullptr || in_flight->AsInt() <= budget) continue;
+        ++flagged;
+        std::printf(
+            "FLAG round %lld: in_flight_words=%lld exceeds the subround "
+            "budget %lld (3k+1)\n",
+            static_cast<long long>(
+                s.Find("round") ? s.Find("round")->AsInt() : -1),
+            static_cast<long long>(in_flight->AsInt()),
+            static_cast<long long>(budget));
+      }
+    }
+  }
+  if (net != nullptr) {
+    const fgm::JsonNode* hw = net->Find("max_in_flight_words");
+    if (hw != nullptr && hw->AsInt() > budget) {
+      std::printf(
+          "note: peak in-flight backlog %lld exceeded the subround budget "
+          "%lld at some instant\n",
+          static_cast<long long>(hw->AsInt()),
+          static_cast<long long>(budget));
+    }
+  }
+  if (flagged == 0 && ts != nullptr) {
+    std::printf("no round ended with in-flight words over the subround "
+                "budget %lld\n",
+                static_cast<long long>(budget));
+  }
+}
+
 int64_t MetricCounter(const fgm::JsonNode& m, const char* name) {
   const fgm::JsonNode* counters = m.Find("metrics") != nullptr
                                       ? m.Find("metrics")->Find("counters")
@@ -689,6 +825,18 @@ void WriteJsonReport(const std::string& path, const std::string& trace_path,
     w.EndObject();
   }
   w.EndArray();
+  if (t.has_net()) {
+    w.Key("net");
+    w.BeginObject();
+    w.Field("delivered_msgs", t.net_delivered_msgs);
+    w.Field("delivered_words", t.net_delivered_words);
+    w.Field("dropped_msgs", t.net_dropped_msgs);
+    w.Field("dropped_words", t.net_dropped_words);
+    w.Field("site_downs", t.net_site_downs);
+    w.Field("resyncs", t.net_resyncs);
+    w.Field("resync_words", t.net_resync_words);
+    w.EndObject();
+  }
   w.Key("replay");
   w.BeginObject();
   w.Field("ok", replay.ok());
@@ -784,6 +932,8 @@ int main(int argc, char** argv) {
   PrintSiteSkew(trace);
   PrintOptimizerAudit(trace, max_rounds);
   if (have_metrics) PrintSpeculation(metrics);
+  PrintNetwork(trace, have_metrics ? &metrics : nullptr,
+               have_ts ? &ts : nullptr);
   if (have_ts) {
     fgm::PrintBanner("Time series");
     const fgm::JsonNode* taken = ts.Find("taken");
