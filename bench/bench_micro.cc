@@ -19,6 +19,7 @@
 #include "core/fgm_protocol.h"
 #include "driver/runner.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "query/query.h"
@@ -175,6 +176,29 @@ void BM_FgmProcessRecordTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_FgmProcessRecordTraced)->Arg(4)->Arg(27);
 
+// The record loop with ONLY the causal span sink (obs/span.h) installed.
+// BM_FgmProcessRecord runs the same hooks against a null SpanSink* (one
+// pointer test each), so the delta prices enabled span collection —
+// round/subround scopes plus one point span per wire message.
+void BM_FgmProcessRecordSpans(benchmark::State& state) {
+  auto proj = Projection(5, 500);
+  SelfJoinQuery query(proj, 0.1);
+  SpanSink spans;
+  FgmConfig config;
+  config.spans = &spans;
+  const int k = static_cast<int>(state.range(0));
+  FgmProtocol protocol(&query, k, config);
+  Xoshiro256ss rng(9);
+  StreamRecord rec;
+  for (auto _ : state) {
+    rec.site = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(k)));
+    rec.cid = rng.NextBounded(1000000);
+    protocol.ProcessRecord(rec);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FgmProcessRecordSpans)->Arg(4)->Arg(27);
+
 // Serial vs. parallel end-to-end runs over the k × threads grid. Written
 // to BENCH_parallel_speedup.json; wall-clock speedups depend on the host
 // core count (a 1-core machine reports ≈1.0 or below by construction),
@@ -280,6 +304,13 @@ int main(int argc, char** argv) {
     std::printf("observability overhead (k=27): %.1f ns/op disabled-path "
                 "baseline, %.1f ns/op enabled (+%.1f)\n",
                 off, on, on - off);
+  }
+  const double spans_on = reporter.NsPerOp("BM_FgmProcessRecordSpans/27");
+  if (off > 0.0 && spans_on > 0.0) {
+    micro.AddScalar("spans_enabled_overhead_ns_per_op", spans_on - off);
+    std::printf("span overhead (k=27): %.1f ns/op spans enabled (+%.1f over "
+                "the disabled path)\n",
+                spans_on, spans_on - off);
   }
   micro.Write();
   fgm::RunParallelSpeedupGrid();

@@ -11,6 +11,7 @@
 namespace fgm {
 
 class MetricsRegistry;
+class SpanSink;
 class TimeSeries;
 class TraceSink;
 class WallTimer;
@@ -98,6 +99,17 @@ struct FgmConfig {
   /// Non-owning; nullptr disables — sampling happens only at round
   /// boundaries, never on the record path.
   TimeSeries* timeseries = nullptr;
+
+  /// Causal span sink (obs/span.h): rounds → subrounds → RPCs → wire
+  /// messages become parent/child intervals for critical-path
+  /// attribution. Non-owning; nullptr (the default) disables spans and
+  /// every hook reduces to one branch.
+  SpanSink* spans = nullptr;
+
+  /// Ships the innermost open span's id as one extra word on every wire
+  /// message (charged and, on serializing paths, actually encoded). Off
+  /// by default so default traffic stays bit-identical.
+  bool span_wire = false;
 };
 
 }  // namespace fgm

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -56,7 +57,10 @@ FgmProtocol::FgmProtocol(const ContinuousQuery* query, int num_sites,
   // Observability hooks must be live before the first round is traced.
   trace_ = config_.trace;
   timeseries_ = config_.timeseries;
+  spans_ = config_.spans;
   if (trace_ != nullptr) transport_->set_trace(trace_);
+  if (spans_ != nullptr) transport_->set_spans(spans_);
+  if (config_.span_wire) transport_->set_span_wire(true);
   if (config_.metrics != nullptr) {
     transport_->set_metrics(config_.metrics);
     sketch_timer_ = config_.metrics->GetTimer("sketch_update");
@@ -134,6 +138,10 @@ void FgmProtocol::StartRound() {
   // outcome vs prediction, and the round's time-series sample. The words
   // booked here fall strictly between this round's RoundStart event and
   // its PlanOutcome, which is what lets the replay checker re-sum them.
+  if (spans_ != nullptr && round_span_ != 0) {
+    spans_->End(round_span_);
+    round_span_ = 0;
+  }
   if (rounds_ > 0) EmitRoundObservability();
 
   // Book the ending round's measured cost rate under its plan class
@@ -161,6 +169,12 @@ void FgmProtocol::StartRound() {
   round_start_updates_ = total_updates_;
 
   ++rounds_;
+  if (spans_ != nullptr) {
+    // Rounds parent to the run, never to whatever scope triggered them
+    // (a reconfigure's resync scope outlives no round).
+    round_span_ = spans_->BeginWithParent(SpanKind::kRound, -1, rounds_, 0,
+                                          nullptr, spans_->root());
+  }
   if (rounds_ > 1) {
     subround_histogram_.Add(subrounds_this_round_);
   }
@@ -404,6 +418,11 @@ void FgmProtocol::StartSubround(double psi_total) {
   counter_total_ = 0;
   ++subrounds_;
   ++subrounds_this_round_;
+  if (spans_ != nullptr) {
+    subround_span_ =
+        spans_->BeginWithParent(SpanKind::kSubround, -1, rounds_,
+                                subrounds_this_round_, nullptr, round_span_);
+  }
   if (trace_ != nullptr) {
     TraceEvent e;
     e.kind = TraceEventKind::kSubroundStart;
@@ -440,6 +459,12 @@ void FgmProtocol::PollAndAdvance(const char* reason) {
   last_psi_ = psi + psi_b_;
   if (last_psi_ != 0.0) {
     psi_variability_ += delta_psi / std::fabs(last_psi_);
+  }
+  if (spans_ != nullptr && subround_span_ != 0) {
+    // Closed after the poll RPCs: the subround span covers the wait for
+    // every member's φ reply, which is what gates its critical path.
+    spans_->End(subround_span_, reason);
+    subround_span_ = 0;
   }
   if (trace_ != nullptr) {
     TraceEvent e;
@@ -755,6 +780,14 @@ void FgmProtocol::ResyncSite(int site) {
   msg.round = rounds_;
   msg.subround = subrounds_this_round_;
   sim_->NoteResync();
+  int64_t resync_span = 0;
+  if (spans_ != nullptr) {
+    // Parented to the run: the handshake interrupts whatever subround is
+    // open rather than nesting inside it.
+    resync_span = spans_->BeginWithParent(SpanKind::kResync, site, rounds_,
+                                          subrounds_this_round_, "rejoin",
+                                          spans_->root());
+  }
   if (trace_ != nullptr) {
     // Emitted before the handshake ships: the site is up again from here
     // on, and the replay checker clears its down state at this event.
@@ -779,6 +812,7 @@ void FgmProtocol::ResyncSite(int site) {
   // Pre-crash datagrams still in flight for this epoch then re-apply as
   // fresh deltas — that only inflates c (an earlier poll), never misses.
   coord_seen_ci_[static_cast<size_t>(site)] = 0;
+  if (spans_ != nullptr) spans_->End(resync_span);
 }
 
 void FgmProtocol::RejoinReconfigure(int site) {
@@ -787,6 +821,12 @@ void FgmProtocol::RejoinReconfigure(int site) {
   // the reconfiguring round resets its evaluator, then end the reduced
   // round — the next StartRound re-admits every up site.
   sim_->NoteResync();
+  int64_t resync_span = 0;
+  if (spans_ != nullptr) {
+    resync_span = spans_->BeginWithParent(SpanKind::kResync, site, rounds_,
+                                          subrounds_this_round_, "reconfig",
+                                          spans_->root());
+  }
   if (trace_ != nullptr) {
     // Emitted before the flush exchange: the site is up again from here
     // on, and the replay checker clears its down state at this event.
@@ -820,12 +860,19 @@ void FgmProtocol::RejoinReconfigure(int site) {
   }
   CloseSubroundForced("reconfig");
   EndRound(/*already_flushed=*/false);
+  if (spans_ != nullptr) spans_->End(resync_span);
 }
 
 void FgmProtocol::CloseSubroundForced(const char* reason) {
   // A forced round end (deadline / reconfiguration) abandons the open
   // subround without a φ-value poll; the trace still needs a labelled
   // kSubroundEnd so the replay checker sees the subround closed.
+  if (spans_ != nullptr && subround_span_ != 0) {
+    // Before the trace_ gate: the span must close even when tracing is
+    // off, or a forced round end leaks an open subround span.
+    spans_->End(subround_span_, reason);
+    subround_span_ = 0;
+  }
   if (trace_ == nullptr) return;
   TraceEvent e;
   e.kind = TraceEventKind::kSubroundEnd;

@@ -198,6 +198,9 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
   // Observability (non-owning; null when disabled).
   TraceSink* trace_ = nullptr;
   TimeSeries* timeseries_ = nullptr;
+  SpanSink* spans_ = nullptr;
+  int64_t round_span_ = 0;     ///< open kRound span id (0 = none)
+  int64_t subround_span_ = 0;  ///< open kSubround span id (0 = none)
   WallTimer* sketch_timer_ = nullptr;
   WallTimer* safe_fn_timer_ = nullptr;
   RunningStats* plan_gain_abs_err_ = nullptr;

@@ -14,6 +14,7 @@
 #include "gm/gm_protocol.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "stream/window.h"
@@ -96,6 +97,8 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
       fgm.trace = config.trace;
       fgm.metrics = config.metrics;
       fgm.timeseries = config.timeseries;
+      fgm.spans = config.spans;
+      fgm.span_wire = config.span_wire;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgm: {
@@ -105,6 +108,8 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
       fgm.trace = config.trace;
       fgm.metrics = config.metrics;
       fgm.timeseries = config.timeseries;
+      fgm.spans = config.spans;
+      fgm.span_wire = config.span_wire;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgmOpt: {
@@ -115,6 +120,8 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
       fgm.trace = config.trace;
       fgm.metrics = config.metrics;
       fgm.timeseries = config.timeseries;
+      fgm.spans = config.spans;
+      fgm.span_wire = config.span_wire;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
   }
@@ -219,6 +226,19 @@ RunResult Run(const RunConfig& base_config,
     own_timeseries = std::make_unique<TimeSeries>(static_cast<size_t>(
         std::max<int64_t>(config.timeseries_capacity, 1)));
     config.timeseries = own_timeseries.get();
+  }
+
+  std::unique_ptr<SpanSink> own_spans;
+  if (config.spans == nullptr && !config.spans_out.empty()) {
+    own_spans = std::make_unique<SpanSink>();
+    config.spans = own_spans.get();
+  }
+  // The run span must be open before the protocol's constructor starts
+  // its first round (round spans parent to it); an event-network
+  // transport rebases it onto the simulated clock during construction.
+  if (config.spans != nullptr) {
+    config.spans->Begin(SpanKind::kRun, -1, 0, 0,
+                        ProtocolKindName(config.protocol));
   }
 
   // RunStart precedes the protocol's own events (its constructor already
@@ -341,6 +361,7 @@ RunResult Run(const RunConfig& base_config,
     ParallelRunnerOptions opts;
     opts.threads = config.threads;
     opts.metrics = config.metrics;
+    opts.spans = config.spans;
     ParallelRunner par(sharded, opts);
     std::vector<StreamRecord> chunk;
     constexpr int64_t kChunkCap = 32768;
@@ -397,6 +418,10 @@ RunResult Run(const RunConfig& base_config,
   // protocol apply it) before totals are read; no-op on synchronous
   // transports.
   protocol->Finish();
+
+  // Every scope still open (run, trailing round/subround) closes at the
+  // latest timestamp seen — a finished run exports no dangling spans.
+  if (config.spans != nullptr) config.spans->CloseAll("run-end");
 
   result.events = n;
   result.traffic = protocol->traffic();
@@ -458,6 +483,9 @@ RunResult Run(const RunConfig& base_config,
   }
   if (!config.timeseries_out.empty() && config.timeseries != nullptr) {
     config.timeseries->WriteFile(config.timeseries_out);
+  }
+  if (!config.spans_out.empty() && config.spans != nullptr) {
+    config.spans->WriteChromeTrace(config.spans_out);
   }
   return result;
 }

@@ -17,6 +17,7 @@
 namespace fgm {
 
 class MetricsRegistry;
+class SpanSink;
 class TimeSeries;
 class TraceSink;
 
@@ -118,11 +119,23 @@ struct RunConfig {
   /// records processed, records/s, current round and ψ.
   int64_t progress_every = 0;
 
+  /// Write causal spans (obs/span.h) here as Chrome Trace Event JSON,
+  /// loadable in Perfetto (empty = off). A private SpanSink is created
+  /// when `spans` is null. FGM protocols emit round/subround/RPC spans;
+  /// the parallel engine adds per-window shard spans.
+  std::string spans_out;
+
+  /// Ship the innermost open span's id as one extra charged word on every
+  /// wire message (FGM protocols only). Default traffic stays
+  /// bit-identical with this off.
+  bool span_wire = false;
+
   /// Caller-provided sinks (non-owning; take precedence over the paths
   /// above for event/metric collection).
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
   TimeSeries* timeseries = nullptr;
+  SpanSink* spans = nullptr;
 };
 
 struct RunResult {

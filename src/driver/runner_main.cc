@@ -5,6 +5,7 @@
 //       [--count_window=0] [--depth=5] [--width=300] [--check_every=5000]
 //       [--threads=1] [--trace_out=trace.jsonl]
 //       [--metrics_out=metrics.json] [--timeseries_out=ts.json]
+//       [--spans_out=spans.json] [--span_wire]
 //       [--snapshot_every=0] [--timeseries_cap=4096] [--progress=0]
 //       [--strict_wire]
 //       [--net_latency=fixed:4] [--net_drop=0.1] [--net_seed=N]
@@ -22,6 +23,11 @@
 // "outage:site=S,from=A,to=B", ';'-separated). --net_latency=0 is the
 // simulator's null mode, bit-identical to the synchronous path. Fault
 // plans require an FGM protocol. Simulated runs force --threads=1.
+//
+// --spans_out writes causal spans (obs/span.h) as Chrome Trace Event
+// JSON loadable in Perfetto; --span_wire additionally charges (and, on
+// serializing paths, encodes) the open span's id as one trailing word
+// per message. Both default off; default traffic is bit-identical.
 //
 // --trace_out writes the structured JSONL event trace (obs/trace.h);
 // --metrics_out writes a JSON summary of the RunResult plus the metrics
@@ -97,6 +103,8 @@ int main(int argc, char** argv) {
   config.trace_out = flags.GetString("trace_out", "");
   config.metrics_out = flags.GetString("metrics_out", "");
   config.timeseries_out = flags.GetString("timeseries_out", "");
+  config.spans_out = flags.GetString("spans_out", "");
+  config.span_wire = flags.GetBool("span_wire", false);
   config.snapshot_every = flags.GetCount("snapshot_every", 0);
   config.timeseries_capacity = flags.GetCount("timeseries_cap", 4096);
   config.progress_every = flags.GetCount("progress", 0);
@@ -121,6 +129,7 @@ int main(int argc, char** argv) {
           "[--updates=N] [--eps=E] [--window=S] [--count_window=N] "
           "[--depth=N] [--width=N] [--check_every=N] [--threads=N] "
           "[--trace_out=F] [--metrics_out=F] [--timeseries_out=F] "
+          "[--spans_out=F] [--span_wire] "
           "[--snapshot_every=N] [--timeseries_cap=N] [--progress=N] "
           "[--strict_wire] [--net_latency=SPEC] [--net_drop=P] "
           "[--net_seed=N] [--fault_plan=PLAN] [--net_bandwidth=N] "
@@ -172,6 +181,9 @@ int main(int argc, char** argv) {
   }
   if (!config.timeseries_out.empty()) {
     std::printf("timeseries: %s\n", config.timeseries_out.c_str());
+  }
+  if (!config.spans_out.empty()) {
+    std::printf("spans: %s\n", config.spans_out.c_str());
   }
   return 0;
 }

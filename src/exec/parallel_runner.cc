@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/check.h"
 
 namespace fgm {
@@ -76,6 +77,15 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
     spec_windows_->Add(1);
     spec_horizon_stats_->Add(static_cast<double>(count));
   }
+  SpanSink* const spans = opts_.spans;
+  int64_t window_span = 0;
+  if (spans != nullptr) {
+    // Explicitly parented to the run: the commit below may open protocol
+    // round/subround scopes that stay open across windows, so the stack
+    // top is not a valid causal parent here.
+    window_span = spans->BeginWithParent(SpanKind::kSpeculate, -1, 0, 0,
+                                         nullptr, spans->root());
+  }
   const int64_t budget = protocol_->SpeculationBudget();
   FGM_CHECK_GE(budget, 1);
 
@@ -98,6 +108,9 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
     pool_.ParallelFor(static_cast<int>(active_.size()), [&](int j) {
       const int s = active_[static_cast<size_t>(j)];
       Shard& shard = shards_[static_cast<size_t>(s)];
+      // Workers stamp only their own shard's timestamps; the coordinator
+      // turns them into spans after the join.
+      if (spans != nullptr) shard.span_begin = spans->Now();
       int64_t own_weight = 0;
       for (const int64_t pos : shard.positions) {
         double value = 0.0;
@@ -110,7 +123,32 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
           if (own_weight >= budget) break;
         }
       }
+      if (spans != nullptr) shard.span_end = spans->Now();
     });
+  }
+  if (spans != nullptr) {
+    // Barrier-wait: from a shard's own finish to the slowest shard's
+    // finish (approximated by the join instant) — the blocked time that
+    // explains sub-linear speedup.
+    const int64_t join_tick = spans->Now();
+    for (int s : active_) {
+      const Shard& shard = shards_[static_cast<size_t>(s)];
+      Span seg;
+      seg.kind = SpanKind::kShardSpeculate;
+      seg.parent = window_span;
+      seg.site = s;
+      seg.begin = shard.span_begin;
+      seg.end = std::max(shard.span_end, shard.span_begin);
+      seg.count = shard.processed;
+      spans->EmitComplete(seg);
+      Span wait;
+      wait.kind = SpanKind::kBarrierWait;
+      wait.parent = window_span;
+      wait.site = s;
+      wait.begin = seg.end;
+      wait.end = std::max(join_tick, seg.end);
+      spans->EmitComplete(wait);
+    }
   }
   if (spec_speculated_ != nullptr) {
     int64_t processed = 0;
@@ -145,6 +183,7 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
   }
 
   int64_t consumed;
+  int64_t commit_begin = 0;
   const int64_t replayed_before = replayed_;
   const int64_t wasted_before = wasted_;
   ScopedTimer commit_timer(spec_commit_timer_);
@@ -157,6 +196,7 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
       FGM_CHECK_EQ(shard.processed,
                    static_cast<int64_t>(shard.positions.size()));
     }
+    if (spans != nullptr) commit_begin = spans->Now();
     protocol_->CommitRecords(count);
     for (const LocalEvent& event : merged_) {
       const bool fired = protocol_->CommitEvent(event);
@@ -174,6 +214,8 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
                                                shard.positions.end(), barrier);
       const int64_t prefix = prefix_end - shard.positions.begin();
       if (shard.processed > prefix) {
+        const int64_t replay_begin =
+            spans != nullptr ? spans->Now() : 0;
         protocol_->RestoreCheckpoint(s);
         replayed_ += prefix;
         wasted_ += shard.processed - prefix;
@@ -182,8 +224,19 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
           protocol_->LocalProcess(records[shard.positions[static_cast<size_t>(i)]],
                                   &value);
         }
+        if (spans != nullptr) {
+          Span replay;
+          replay.kind = SpanKind::kReplay;
+          replay.parent = window_span;
+          replay.site = s;
+          replay.begin = replay_begin;
+          replay.end = spans->Now();
+          replay.count = prefix;
+          spans->EmitComplete(replay);
+        }
       }
     }
+    if (spans != nullptr) commit_begin = spans->Now();
     protocol_->CommitRecords(barrier + 1);
     for (size_t i = 0; i <= barrier_idx; ++i) {
       const bool fired = protocol_->CommitEvent(merged_[i]);
@@ -191,12 +244,24 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
     }
     consumed = barrier + 1;
   }
+  if (spans != nullptr) {
+    Span commit;
+    commit.kind = SpanKind::kCommit;
+    commit.parent = window_span;
+    commit.begin = commit_begin;
+    commit.end = spans->Now();
+    commit.count = consumed;
+    spans->EmitComplete(commit);
+    spans->End(window_span);
+  }
 
   for (int s : active_) {
     Shard& shard = shards_[static_cast<size_t>(s)];
     shard.positions.clear();
     shard.events.clear();
     shard.processed = 0;
+    shard.span_begin = 0;
+    shard.span_end = 0;
   }
   if (spec_committed_ != nullptr) {
     spec_committed_->Add(consumed);

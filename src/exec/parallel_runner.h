@@ -27,6 +27,7 @@ class Counter;
 class Gauge;
 class MetricsRegistry;
 class RunningStats;
+class SpanSink;
 class WallTimer;
 
 struct ParallelRunnerOptions {
@@ -40,6 +41,11 @@ struct ParallelRunnerOptions {
   /// at window granularity — never per record — so the record path is
   /// unchanged whether or not a registry is attached.
   MetricsRegistry* metrics = nullptr;
+  /// Causal span sink (non-owning; nullptr = off): one kSpeculate span
+  /// per window with per-shard speculate / barrier-wait / replay children
+  /// and the serial commit segment. Workers only stamp two timestamps
+  /// into their own shard; all span emission is coordinator-side.
+  SpanSink* spans = nullptr;
 };
 
 class ParallelRunner {
@@ -77,6 +83,8 @@ class ParallelRunner {
     std::vector<int64_t> positions;  ///< window positions, ascending
     std::vector<LocalEvent> events;  ///< events found while speculating
     int64_t processed = 0;           ///< prefix of `positions` processed
+    int64_t span_begin = 0;  ///< worker-stamped speculate segment start
+    int64_t span_end = 0;    ///< worker-stamped speculate segment end
   };
 
   ShardedProtocol* protocol_;

@@ -17,6 +17,7 @@
 
 namespace fgm {
 
+class SpanSink;
 class TraceSink;
 
 /// How protocol messages travel (see net/transport.h). kAuto resolves to
@@ -86,12 +87,20 @@ class SimNetwork {
   /// message (nullptr disables tracing; the default).
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
+  /// Installs a span sink that receives one kMsg span per recorded message
+  /// (nullptr disables spans; the default). Under sim::EventNetwork the
+  /// event network emits richer latency-stamped spans itself and leaves
+  /// this unset.
+  void set_spans(SpanSink* spans) { spans_ = spans; }
+
  private:
   void EmitMsg(int site, MsgKind kind, int64_t words, int dir);
+  void EmitSpan(int site, MsgKind kind, int64_t words, int dir);
 
   int sites_;
   TrafficStats stats_;
   TraceSink* trace_ = nullptr;
+  SpanSink* spans_ = nullptr;
 };
 
 }  // namespace fgm

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/check.h"
 
 namespace fgm {
@@ -23,48 +24,57 @@ class CountingTransport final : public Transport {
   const char* name() const override { return "counting"; }
 
   SafeZoneMsg ShipSafeZone(int site, SafeZoneMsg msg) override {
-    network_.Upstream(site, MsgKind::kSafeZone, msg.Words());
+    network_.Upstream(site, MsgKind::kSafeZone, msg.Words() + SpanWireExtra());
     return msg;
   }
   CheapZoneMsg ShipCheapZone(int site, CheapZoneMsg msg) override {
     // Cheap bounds are safe-zone shipments in the cost breakdown.
-    network_.Upstream(site, MsgKind::kSafeZone, CheapZoneMsg::kWords);
+    network_.Upstream(site, MsgKind::kSafeZone,
+                      CheapZoneMsg::kWords + SpanWireExtra());
     return msg;
   }
   QuantumMsg ShipQuantum(int site, QuantumMsg msg) override {
-    network_.Upstream(site, MsgKind::kQuantum, QuantumMsg::kWords);
+    network_.Upstream(site, MsgKind::kQuantum,
+                      QuantumMsg::kWords + SpanWireExtra());
     return msg;
   }
   LambdaMsg ShipLambda(int site, LambdaMsg msg) override {
-    network_.Upstream(site, MsgKind::kLambda, LambdaMsg::kWords);
+    network_.Upstream(site, MsgKind::kLambda,
+                      LambdaMsg::kWords + SpanWireExtra());
     return msg;
   }
   ControlMsg ShipControl(int site, ControlMsg msg) override {
-    network_.Upstream(site, MsgKind::kControl, ControlMsg::kWords);
+    network_.Upstream(site, MsgKind::kControl,
+                      ControlMsg::kWords + SpanWireExtra());
     return msg;
   }
   ResyncMsg ShipResync(int site, ResyncMsg msg) override {
-    network_.Upstream(site, MsgKind::kResync, msg.Words());
+    network_.Upstream(site, MsgKind::kResync, msg.Words() + SpanWireExtra());
     return msg;
   }
   ControlMsg SendControl(int site, ControlMsg msg) override {
-    network_.Downstream(site, MsgKind::kControl, ControlMsg::kWords);
+    network_.Downstream(site, MsgKind::kControl,
+                        ControlMsg::kWords + SpanWireExtra());
     return msg;
   }
   CounterMsg SendCounter(int site, CounterMsg msg) override {
-    network_.Downstream(site, MsgKind::kCounter, CounterMsg::kWords);
+    network_.Downstream(site, MsgKind::kCounter,
+                        CounterMsg::kWords + SpanWireExtra());
     return msg;
   }
   PhiValueMsg SendPhiValue(int site, PhiValueMsg msg) override {
-    network_.Downstream(site, MsgKind::kPhiValue, PhiValueMsg::kWords);
+    network_.Downstream(site, MsgKind::kPhiValue,
+                        PhiValueMsg::kWords + SpanWireExtra());
     return msg;
   }
   DriftFlushMsg SendDriftFlush(int site, DriftFlushMsg msg) override {
-    network_.Downstream(site, MsgKind::kDriftFlush, msg.Words());
+    network_.Downstream(site, MsgKind::kDriftFlush,
+                        msg.Words() + SpanWireExtra());
     return msg;
   }
   RawUpdateMsg SendRawUpdate(int site, RawUpdateMsg msg) override {
-    network_.Downstream(site, MsgKind::kRawUpdate, msg.Words());
+    network_.Downstream(site, MsgKind::kRawUpdate,
+                        msg.Words() + SpanWireExtra());
     return msg;
   }
 };
@@ -179,11 +189,22 @@ class SerializingTransport final : public Transport {
       msg.Encode(&wire);
     }
     FGM_CHECK_EQ(static_cast<int64_t>(wire.size_words()), charged_words);
-    charge(charged_words);
+    charge(charged_words + SpanWireExtra());
     ScopedTimer timed(decode_timer_);
+    // Decode sees the payload only — a receiver strips the known trailing
+    // span-id word before decoding (some payloads infer their length from
+    // the buffer size).
     Msg decoded = decode(wire);
     WordBuffer reencoded;
     decoded.Encode(&reencoded);
+    if (span_wire_) {
+      // The span-id envelope is one trailing word, actually appended to
+      // the wire bits so the +1 charge is backed by transmitted words,
+      // and cross-checked bit-exactly like the payload.
+      const int64_t span_id = spans_ != nullptr ? spans_->CurrentId() : 0;
+      wire.PutCount(span_id);
+      reencoded.PutCount(span_id);
+    }
     FGM_CHECK(wire.SameBits(reencoded));
     return decoded;
   }

@@ -51,6 +51,21 @@ class Transport {
   /// Virtual: the event-network backend also emits delivery/drop events.
   virtual void set_trace(TraceSink* trace) { network_.set_trace(trace); }
 
+  /// Forwards per-message spans to `spans` (nullptr disables). Virtual:
+  /// the event-network backend emits latency-stamped spans itself instead
+  /// of the point spans SimNetwork records.
+  virtual void set_spans(SpanSink* spans) {
+    spans_ = spans;
+    network_.set_spans(spans);
+  }
+
+  /// Enables the span-id wire envelope: every message carries the id of
+  /// the innermost open span as one trailing word, charged like any other
+  /// payload word (and, on the serializing path, actually encoded so the
+  /// charge stays provably honest). Off by default — default traffic is
+  /// bit-identical with spans compiled in.
+  void set_span_wire(bool on) { span_wire_ = on; }
+
   /// Registers the wire_encode / wire_decode wall timers with `metrics`
   /// (nullptr detaches). Only the serializing path does timed work.
   void set_metrics(MetricsRegistry* metrics);
@@ -72,9 +87,14 @@ class Transport {
   virtual RawUpdateMsg SendRawUpdate(int site, RawUpdateMsg msg) = 0;
 
  protected:
+  /// Extra words per message charged by the span-id envelope.
+  int64_t SpanWireExtra() const { return span_wire_ ? 1 : 0; }
+
   SimNetwork network_;
   WallTimer* encode_timer_ = nullptr;
   WallTimer* decode_timer_ = nullptr;
+  SpanSink* spans_ = nullptr;
+  bool span_wire_ = false;
 };
 
 /// Builds the transport for `mode` (kAuto resolves via the environment).

@@ -51,6 +51,7 @@ void WriteKindArray(JsonWriter* w, const char* key,
 void TimeSeries::WriteJson(JsonWriter* w) const {
   std::lock_guard<std::mutex> lock(mu_);
   w->BeginObject();
+  w->Field("version", kTimeSeriesSchemaVersion);
   w->Field("capacity", static_cast<int64_t>(capacity_));
   w->Field("taken", taken_);
   w->Field("dropped", dropped_);

@@ -74,6 +74,10 @@ struct RunSnapshot {
   int64_t resyncs = 0;              ///< crash/rejoin handshakes so far
 };
 
+/// Schema version of the exported time-series document. Bump on any
+/// backwards-incompatible change to the sample layout.
+constexpr int64_t kTimeSeriesSchemaVersion = 1;
+
 /// Bounded, thread-safe collection of RunSnapshots with JSON export.
 class TimeSeries {
  public:
@@ -87,8 +91,8 @@ class TimeSeries {
   int64_t samples_dropped() const; ///< evicted by the capacity bound
   std::vector<RunSnapshot> Samples() const;  ///< retained samples, in order
 
-  /// Writes {"capacity":..,"taken":..,"dropped":..,"samples":[...]}
-  /// into an open writer scope (emits one complete object).
+  /// Writes {"version":..,"capacity":..,"taken":..,"dropped":..,
+  /// "samples":[...]} into an open writer scope (one complete object).
   void WriteJson(JsonWriter* w) const;
   /// Writes the JSON document to `path`; FGM_CHECKs on I/O failure.
   void WriteFile(const std::string& path) const;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -38,6 +39,11 @@ EventNetwork::EventNetwork(int sites, const NetSimConfig& config)
 void EventNetwork::set_trace(TraceSink* trace) {
   trace_ = trace;
   network_.set_trace(trace);
+}
+
+void EventNetwork::set_spans(SpanSink* spans) {
+  spans_ = spans;
+  if (spans != nullptr) spans->UseTickClock(&now_);
 }
 
 bool EventNetwork::SiteUp(int site) const {
@@ -105,9 +111,17 @@ Msg EventNetwork::CheckedRoundTrip(const Msg& msg, int64_t charged_words,
   WordBuffer wire;
   msg.Encode(&wire);
   FGM_CHECK_EQ(static_cast<int64_t>(wire.size_words()), charged_words);
+  // Decode sees the payload only — a receiver strips the known trailing
+  // span-id word before decoding (some payloads infer their length from
+  // the buffer size).
   Msg decoded = decode(wire);
   WordBuffer reencoded;
   decoded.Encode(&reencoded);
+  if (span_wire_) {
+    const int64_t span_id = spans_ != nullptr ? spans_->CurrentId() : 0;
+    wire.PutCount(span_id);
+    reencoded.PutCount(span_id);
+  }
   FGM_CHECK(wire.SameBits(reencoded));
   return decoded;
 }
@@ -118,29 +132,67 @@ Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
   // The protocols never address a down site over the control plane; the
   // pause/resync machinery (core/fgm_protocol.cc) guarantees it.
   FGM_CHECK(SiteUp(site));
+  int64_t rpc_span = 0;
+  if (spans_ != nullptr) {
+    // Opened before the round trip so the wire envelope (span_wire)
+    // carries this RPC's id; one kMsg child per attempt follows.
+    rpc_span = spans_->Begin(SpanKind::kRpc, site, 0, 0, MsgKindName(kind));
+  }
   Msg decoded = CheckedRoundTrip(msg, charged_words, decode);
+  const int64_t wire_words = charged_words + SpanWireExtra();
+  int64_t total_words = 0;
   for (int attempt = 0;; ++attempt) {
     FGM_CHECK_LT(attempt, kMaxRpcAttempts);
-    Charge(site, kind, dir, charged_words);
+    Charge(site, kind, dir, wire_words);
+    total_words += wire_words;
     if (attempt > 0) {
       ++net_stats_.retransmitted_msgs;
-      net_stats_.retransmitted_words += charged_words;
+      net_stats_.retransmitted_words += wire_words;
     }
     if (SampleDrop()) {
       ++net_stats_.dropped_msgs;
-      net_stats_.dropped_words += charged_words;
+      net_stats_.dropped_words += wire_words;
       EmitNetEvent(TraceEventKind::kMsgDropped, site, kind, dir,
-                   charged_words, now_, "loss");
+                   wire_words, now_, "loss");
+      if (spans_ != nullptr) {
+        // The lost attempt occupies the sender until its timeout fires.
+        Span s;
+        s.kind = SpanKind::kMsg;
+        s.site = site;
+        s.begin = now_;
+        s.end = now_ + config_.retransmit_timeout;
+        s.words = wire_words;
+        s.count = 1;
+        s.dir = dir;
+        s.label = MsgKindName(kind);
+        s.reason = "loss";
+        spans_->EmitComplete(s);
+      }
       // The sender detects the loss by timeout and resends.
       Advance(config_.retransmit_timeout);
       continue;
     }
-    const int64_t delay = SampleLatency() + TransferTicks(charged_words);
+    const int64_t delay = SampleLatency() + TransferTicks(wire_words);
+    const int64_t sent = now_;
     Advance(delay);
     ++net_stats_.delivered_msgs;
-    net_stats_.delivered_words += charged_words;
+    net_stats_.delivered_words += wire_words;
     EmitNetEvent(TraceEventKind::kMsgDelivered, site, kind, dir,
-                 charged_words, now_, nullptr);
+                 wire_words, now_, nullptr);
+    if (spans_ != nullptr) {
+      Span s;
+      s.kind = SpanKind::kMsg;
+      s.site = site;
+      s.begin = sent;
+      s.end = now_;
+      s.words = wire_words;
+      s.count = 1;
+      s.dir = dir;
+      s.transit = delay;
+      s.label = MsgKindName(kind);
+      spans_->EmitComplete(s);
+      spans_->EndWithStats(rpc_span, nullptr, total_words, attempt + 1);
+    }
     return decoded;
   }
 }
@@ -215,15 +267,33 @@ void EventNetwork::PostCounter(int site, CounterMsg msg, int64_t round,
   const CounterMsg decoded = CheckedRoundTrip(
       msg, CounterMsg::kWords,
       [](const WordBuffer& in) { return CounterMsg::Decode(in); });
-  Charge(site, MsgKind::kCounter, -1, CounterMsg::kWords);
+  const int64_t wire_words = CounterMsg::kWords + SpanWireExtra();
+  Charge(site, MsgKind::kCounter, -1, wire_words);
   if (SampleDrop()) {
     ++net_stats_.dropped_msgs;
-    net_stats_.dropped_words += CounterMsg::kWords;
+    net_stats_.dropped_words += wire_words;
     EmitNetEvent(TraceEventKind::kMsgDropped, site, MsgKind::kCounter, -1,
-                 CounterMsg::kWords, now_, "loss");
+                 wire_words, now_, "loss");
+    if (spans_ != nullptr) {
+      // Charged but never delivered: a point span keeps the word sums
+      // conserved against MsgSent.
+      Span s;
+      s.kind = SpanKind::kDatagram;
+      s.parent = spans_->root();
+      s.site = site;
+      s.round = round;
+      s.subround = subround;
+      s.begin = now_;
+      s.words = wire_words;
+      s.count = 1;
+      s.dir = -1;
+      s.label = MsgKindName(MsgKind::kCounter);
+      s.reason = "loss";
+      spans_->EmitComplete(s);
+    }
     return;  // no retransmission: cumulative counters self-heal
   }
-  int64_t delay = SampleLatency() + TransferTicks(CounterMsg::kWords);
+  int64_t delay = SampleLatency() + TransferTicks(wire_words);
   if (config_.reorder_window > 0) {
     delay += rng_.NextInt(0, config_.reorder_window);
   }
@@ -235,8 +305,9 @@ void EventNetwork::PostCounter(int site, CounterMsg msg, int64_t round,
   env.delivery.round = round;
   env.delivery.subround = subround;
   env.delivery.due = env.due;
+  env.delivery.posted = now_;
   queue_.push(env);
-  net_stats_.in_flight_words += CounterMsg::kWords;
+  net_stats_.in_flight_words += wire_words;
   if (net_stats_.in_flight_words > net_stats_.max_in_flight_words) {
     net_stats_.max_in_flight_words = net_stats_.in_flight_words;
   }
@@ -246,11 +317,31 @@ bool EventNetwork::PopCounter(CounterDelivery* out) {
   if (queue_.empty() || queue_.top().due > now_) return false;
   *out = queue_.top().delivery;
   queue_.pop();
-  net_stats_.in_flight_words -= CounterMsg::kWords;
+  const int64_t wire_words = CounterMsg::kWords + SpanWireExtra();
+  net_stats_.in_flight_words -= wire_words;
   ++net_stats_.delivered_msgs;
-  net_stats_.delivered_words += CounterMsg::kWords;
+  net_stats_.delivered_words += wire_words;
   EmitNetEvent(TraceEventKind::kMsgDelivered, out->site, MsgKind::kCounter,
-               -1, CounterMsg::kWords, out->due, nullptr);
+               -1, wire_words, out->due, nullptr);
+  if (spans_ != nullptr) {
+    // post → due is wire time; due → drain is how long the datagram sat
+    // waiting for the protocol to reach a safe drain point.
+    Span s;
+    s.kind = SpanKind::kDatagram;
+    s.parent = spans_->root();
+    s.site = out->site;
+    s.round = out->round;
+    s.subround = out->subround;
+    s.begin = out->posted;
+    s.end = now_;
+    s.words = wire_words;
+    s.count = 1;
+    s.dir = -1;
+    s.transit = out->due - out->posted;
+    s.drain = now_ - out->due;
+    s.label = MsgKindName(MsgKind::kCounter);
+    spans_->EmitComplete(s);
+  }
   return true;
 }
 

@@ -77,6 +77,7 @@ struct CounterDelivery {
   int64_t round = 0;     ///< epoch the datagram was sent in
   int64_t subround = 0;
   int64_t due = 0;       ///< wire arrival tick
+  int64_t posted = 0;    ///< tick the site posted it (span begin)
 };
 
 /// A fault-plan transition handed to the protocol at a safe point.
@@ -92,6 +93,11 @@ class EventNetwork final : public Transport {
 
   const char* name() const override { return "event-sim"; }
   void set_trace(TraceSink* trace) override;
+  /// Registers the span sink and rebases it onto the simulated clock.
+  /// Does NOT forward to the inner SimNetwork: the event network emits
+  /// its own latency-stamped kRpc / kMsg / kDatagram spans per attempt,
+  /// so the point spans SimNetwork would add per charge must stay off.
+  void set_spans(SpanSink* spans) override;
 
   // Transport interface — blocking RPCs over the simulated links.
   SafeZoneMsg ShipSafeZone(int site, SafeZoneMsg msg) override;

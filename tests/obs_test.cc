@@ -4,9 +4,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -304,6 +306,8 @@ TEST(TimeSeriesTest, RingBufferDropsOldestAndExportsJson) {
   JsonNode root;
   std::string error;
   ASSERT_TRUE(ParseJson(w.str(), &root, &error)) << error;
+  ASSERT_NE(root.Find("version"), nullptr);
+  EXPECT_EQ(root.Find("version")->AsInt(), kTimeSeriesSchemaVersion);
   EXPECT_EQ(root.Find("taken")->AsInt(), 6);
   EXPECT_EQ(root.Find("dropped")->AsInt(), 2);
   const JsonNode* out = root.Find("samples");
@@ -356,6 +360,80 @@ TEST(TimeSeriesTest, FgmRunProducesRoundSamples) {
   }
   EXPECT_EQ(delta_sum, series.Samples().back().total_words)
       << "round deltas sum to the last cumulative total";
+}
+
+// A capacity smaller than the completed-round count forces the ring
+// buffer to wrap mid-run: the retained window must be the LAST `capacity`
+// round samples, contiguous and still monotone in cumulative words.
+TEST(TimeSeriesTest, CapacitySmallerThanRoundCountKeepsTheTail) {
+  auto proj = std::make_shared<const AgmsProjection>(5, 100, 42);
+  SelfJoinQuery query(proj, 0.1);
+  constexpr size_t kCapacity = 8;
+  TimeSeries series(kCapacity);
+  FgmConfig config;
+  config.timeseries = &series;
+  const int k = 4;
+  FgmProtocol protocol(&query, k, config);
+  Xoshiro256ss rng(11);
+  StreamRecord rec;
+  for (int i = 0; i < 40000; ++i) {
+    rec.site = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(k)));
+    rec.cid = rng.NextBounded(5000);
+    protocol.ProcessRecord(rec);
+  }
+  ASSERT_GT(protocol.rounds(), static_cast<int64_t>(kCapacity))
+      << "the run must complete more rounds than the ring holds";
+  EXPECT_EQ(series.samples_taken(), protocol.rounds() - 1);
+  EXPECT_EQ(series.samples_dropped(),
+            series.samples_taken() - static_cast<int64_t>(kCapacity));
+  const auto samples = series.Samples();
+  ASSERT_EQ(samples.size(), kCapacity);
+  int64_t prev_seq = samples.front().seq - 1;
+  int64_t prev_total = -1;
+  for (const RunSnapshot& s : samples) {
+    EXPECT_EQ(s.seq, prev_seq + 1) << "retained window is contiguous";
+    prev_seq = s.seq;
+    EXPECT_GE(s.total_words, prev_total);
+    prev_total = s.total_words;
+  }
+  EXPECT_EQ(samples.back().seq, series.samples_taken() - 1)
+      << "the newest sample survives the wrap";
+}
+
+// Golden-file regression for the exported time-series document: a
+// hand-built series must serialize byte-identically to the committed
+// golden. A diff here means the schema changed — update the golden AND
+// bump kTimeSeriesSchemaVersion.
+TEST(TimeSeriesTest, JsonMatchesGoldenFile) {
+  TimeSeries series(4);
+  for (int i = 0; i < 3; ++i) {
+    RunSnapshot s;
+    s.kind = i % 2 == 0 ? "round" : "interval";
+    s.records = 100 * (i + 1);
+    s.round = i + 1;
+    s.subrounds = 2;
+    s.total_subrounds = 2 * (i + 1);
+    s.psi = -1.5;
+    s.theta = 0.25;
+    s.lambda = 1.0;
+    s.total_words = 40 * (i + 1);
+    s.round_words = 40;
+    s.words_by_kind[0] = 30;
+    s.round_words_by_kind[0] = 30;
+    series.Record(s);
+  }
+  JsonWriter w;
+  series.WriteJson(&w);
+
+  const std::string golden_path =
+      std::string(FGM_TEST_GOLDEN_DIR) + "/timeseries_v1.json";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(w.str(), want.str())
+      << "time-series schema drifted from " << golden_path
+      << " — update the golden and bump kTimeSeriesSchemaVersion";
 }
 
 // Golden lines for the FGM/O plan-audit events (same contract discipline

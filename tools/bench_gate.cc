@@ -1,7 +1,8 @@
 // CI bench regression gate.
 //
 //   ./build/tools/bench_gate --baseline=bench/baselines/BENCH_x.json
-//       --current=BENCH_x.json [--tol=0.02] [--time_tol=0] [--verbose]
+//       --current=BENCH_x.json [--tol=0.02] [--time_tol=0]
+//       [--tol_field=name=T[,name=T...]] [--verbose]
 //
 // Diffs two BENCH_*.json reports (bench/bench_common.h JsonReport format:
 // {"bench": name, "runs": [{"x": label, ...fields...}], "scalars": {...}}).
@@ -16,13 +17,21 @@
 // records...) is deterministic for a fixed seed and gated at --tol;
 // --tol=0 demands bit-exact equality.
 //
+// --tol_field=name=T[,name=T...] overrides the tolerance for individual
+// fields by exact name, taking precedence over both --tol and the
+// time-like skip — so one noisy field can be loosened (or a time-like
+// field force-gated) without loosening the bit-exact --tol=0 gate on
+// everything else.
+//
 // Exit: 0 = within tolerance, 1 = regression / missing data,
 // 2 = usage or parse error.
 
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -52,9 +61,33 @@ bool IsTimeLike(const std::string& name) {
   return false;
 }
 
+/// Parses "name=T[,name=T...]" into per-field tolerance overrides.
+/// Returns false on an empty name or a non-numeric / negative value.
+bool ParseFieldTols(const std::string& spec,
+                    std::map<std::string, double>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t eq = item.find('=');
+    if (eq == 0 || eq == std::string::npos) return false;
+    const std::string name = item.substr(0, eq);
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str() + eq + 1, &end);
+    if (end == nullptr || *end != '\0' || value < 0.0) return false;
+    (*out)[name] = value;
+    pos = comma + 1;
+  }
+  return true;
+}
+
 struct Gate {
   double tol = 0.02;
   double time_tol = 0.0;  ///< 0 = skip time-like fields entirely
+  /// Exact-name overrides (--tol_field); win over tol AND the
+  /// time-like skip.
+  std::map<std::string, double> field_tols;
   bool verbose = false;
   int64_t compared = 0;
   int64_t skipped = 0;
@@ -66,7 +99,10 @@ struct Gate {
   void Number(const std::string& where, const std::string& name, double base,
               double cur) {
     double limit = tol;
-    if (IsTimeLike(name)) {
+    const auto it = field_tols.find(name);
+    if (it != field_tols.end()) {
+      limit = it->second;
+    } else if (IsTimeLike(name)) {
       if (time_tol <= 0.0) {
         ++skipped;
         return;
@@ -138,15 +174,25 @@ int main(int argc, char** argv) {
   gate.tol = flags.GetDouble("tol", 0.02);
   gate.time_tol = flags.GetDouble("time_tol", 0.0);
   gate.verbose = flags.GetBool("verbose", false);
+  const std::string tol_field = flags.GetString("tol_field", "");
+  bool tol_field_ok = true;
+  if (!tol_field.empty()) {
+    tol_field_ok = ParseFieldTols(tol_field, &gate.field_tols);
+  }
   const std::vector<std::string> unknown = flags.Unparsed();
-  if (!unknown.empty() || baseline_path.empty() || current_path.empty()) {
+  if (!unknown.empty() || baseline_path.empty() || current_path.empty() ||
+      !tol_field_ok) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    }
+    if (!tol_field_ok) {
+      std::fprintf(stderr, "bad --tol_field=%s (want name=T[,name=T...])\n",
+                   tol_field.c_str());
     }
     std::fprintf(stderr,
                  "usage: bench_gate --baseline=BENCH_x.json "
                  "--current=BENCH_x.json [--tol=0.02] [--time_tol=0] "
-                 "[--verbose]\n");
+                 "[--tol_field=name=T[,name=T...]] [--verbose]\n");
     return 2;
   }
 

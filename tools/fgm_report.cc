@@ -1,8 +1,8 @@
 // Offline run-report analyzer.
 //
 //   ./build/tools/fgm_report --trace=trace.jsonl [--metrics=metrics.json]
-//       [--timeseries=ts.json] [--json_out=report.json] [--max_rounds=24]
-//       [--check=true]
+//       [--timeseries=ts.json] [--spans=spans.json]
+//       [--json_out=report.json] [--max_rounds=24] [--check=true]
 //
 // Renders the observability triple a runner invocation writes
 // (--trace_out / --metrics_out / --timeseries_out) into a human-readable
@@ -25,6 +25,14 @@
 //    (total and per message kind), subround count and plan-audit numbers
 //    equal the values recomputed from the trace.
 //
+// --spans adds the causal-span file (--spans_out, obs/span.h) as a fourth
+// view: the span invariants must hold (every span closed, children inside
+// their parents) and the per-direction msg/datagram span word sums must
+// equal the trace's RunEnd totals. The report then prints a critical-path
+// summary: the run's time split (network / speculate / barrier / replay /
+// commit) and, per subround, which site's RPC or datagram gated progress
+// — aggregated into a top-N straggler table with retransmit counts.
+//
 // Exit: 0 = all checks pass, 1 = a cross-check failed (suppress with
 // --check=false), 2 = usage / file / parse error.
 
@@ -43,6 +51,7 @@
 #include "net/network.h"
 #include "obs/json.h"
 #include "obs/replay.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -50,6 +59,10 @@
 namespace {
 
 constexpr int kKinds = static_cast<int>(fgm::MsgKind::kKindCount);
+
+/// Schema version of the --json_out document. Bump on any
+/// backwards-incompatible change to the report layout.
+constexpr int64_t kReportSchemaVersion = 1;
 
 std::string Format(const char* fmt, ...) {
   char buf[512];
@@ -773,11 +786,58 @@ void PrintSpeculation(const fgm::JsonNode& m) {
   }
 }
 
+/// Run-level time split + straggler attribution, computed from the span
+/// file alone (SummarizeCriticalPath).
+void PrintCriticalPath(const fgm::SpanCheckStats& stats,
+                       const fgm::CriticalPathSummary& cp,
+                       int64_t max_rounds) {
+  fgm::PrintBanner("Critical path (spans)");
+  const double run = cp.run_time > 0 ? static_cast<double>(cp.run_time) : 1.0;
+  auto pct = [run](int64_t v) { return 100.0 * static_cast<double>(v) / run; };
+  std::printf("spans=%lld  run_time=%lld  round_time=%lld (%.1f%%)\n",
+              static_cast<long long>(stats.spans),
+              static_cast<long long>(cp.run_time),
+              static_cast<long long>(cp.round_time), pct(cp.round_time));
+  std::printf("network=%lld (%.1f%%)  retransmits=%lld\n",
+              static_cast<long long>(cp.network_time), pct(cp.network_time),
+              static_cast<long long>(cp.retransmits));
+  if (cp.speculate_time + cp.barrier_time + cp.replay_time + cp.commit_time >
+      0) {
+    std::printf(
+        "parallel: speculate=%lld (%.1f%%)  barrier-wait=%lld (%.1f%%)  "
+        "replay=%lld (%.1f%%)  commit=%lld (%.1f%%)\n",
+        static_cast<long long>(cp.speculate_time), pct(cp.speculate_time),
+        static_cast<long long>(cp.barrier_time), pct(cp.barrier_time),
+        static_cast<long long>(cp.replay_time), pct(cp.replay_time),
+        static_cast<long long>(cp.commit_time), pct(cp.commit_time));
+  }
+  if (!cp.top_sites.empty()) {
+    std::printf("gated subrounds: %zu\n", cp.gates.size());
+    fgm::TablePrinter table({"site", "gated", "wait", "retransmits"});
+    int64_t shown = 0;
+    for (const fgm::SiteGating& s : cp.top_sites) {
+      if (shown++ >= max_rounds) break;
+      table.AddRow({fgm::TablePrinter::Cell(static_cast<int64_t>(s.site)),
+                    fgm::TablePrinter::Cell(s.gated),
+                    fgm::TablePrinter::Cell(s.wait),
+                    fgm::TablePrinter::Cell(s.retransmits)});
+    }
+    table.Print();
+    if (static_cast<int64_t>(cp.top_sites.size()) > max_rounds) {
+      std::printf("(showing the top %lld of %zu gating sites)\n",
+                  static_cast<long long>(max_rounds), cp.top_sites.size());
+    }
+  }
+}
+
 void WriteJsonReport(const std::string& path, const std::string& trace_path,
                      const TraceSummary& t, const fgm::ReplayReport& replay,
-                     const Checker& checks) {
+                     const Checker& checks,
+                     const fgm::SpanCheckStats* span_stats,
+                     const fgm::CriticalPathSummary* cp) {
   fgm::JsonWriter w;
   w.BeginObject();
+  w.Field("version", kReportSchemaVersion);
   w.Field("trace", trace_path);
   w.Field("protocol", t.protocol);
   w.Field("k", static_cast<int64_t>(t.k));
@@ -837,6 +897,35 @@ void WriteJsonReport(const std::string& path, const std::string& trace_path,
     w.Field("resync_words", t.net_resync_words);
     w.EndObject();
   }
+  if (span_stats != nullptr && cp != nullptr) {
+    w.Key("spans");
+    w.BeginObject();
+    w.Field("count", span_stats->spans);
+    w.Field("open", span_stats->open);
+    w.Field("up_words", span_stats->msg_up_words);
+    w.Field("down_words", span_stats->msg_down_words);
+    w.Field("run_time", cp->run_time);
+    w.Field("round_time", cp->round_time);
+    w.Field("network_time", cp->network_time);
+    w.Field("retransmits", cp->retransmits);
+    w.Field("speculate_time", cp->speculate_time);
+    w.Field("barrier_time", cp->barrier_time);
+    w.Field("replay_time", cp->replay_time);
+    w.Field("commit_time", cp->commit_time);
+    w.Field("gated_subrounds", static_cast<int64_t>(cp->gates.size()));
+    w.Key("top_sites");
+    w.BeginArray();
+    for (const fgm::SiteGating& s : cp->top_sites) {
+      w.BeginObject();
+      w.Field("site", static_cast<int64_t>(s.site));
+      w.Field("gated", s.gated);
+      w.Field("wait", s.wait);
+      w.Field("retransmits", s.retransmits);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
   w.Key("replay");
   w.BeginObject();
   w.Field("ok", replay.ok());
@@ -871,6 +960,7 @@ int main(int argc, char** argv) {
   std::string trace_path = flags.GetString("trace", "");
   const std::string metrics_path = flags.GetString("metrics", "");
   const std::string ts_path = flags.GetString("timeseries", "");
+  const std::string spans_path = flags.GetString("spans", "");
   const std::string json_out = flags.GetString("json_out", "");
   const int64_t max_rounds = flags.GetInt("max_rounds", 24);
   const bool check = flags.GetBool("check", true);
@@ -885,7 +975,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: fgm_report --trace=trace.jsonl "
                  "[--metrics=metrics.json] [--timeseries=ts.json] "
-                 "[--json_out=report.json] [--max_rounds=N] [--check=true]\n");
+                 "[--spans=spans.json] [--json_out=report.json] "
+                 "[--max_rounds=N] [--check=true]\n");
     return 2;
   }
 
@@ -927,6 +1018,28 @@ int main(int argc, char** argv) {
     CheckTimeSeries(trace, ts, &checks, &round_samples, &interval_samples);
   }
 
+  bool have_spans = false;
+  std::vector<fgm::ParsedSpan> spans;
+  fgm::SpanCheckStats span_stats;
+  fgm::CriticalPathSummary critical_path;
+  if (!spans_path.empty()) {
+    if (!fgm::ReadSpanFile(spans_path, &spans, &error)) {
+      std::fprintf(stderr, "fgm_report: %s: %s\n", spans_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    have_spans = true;
+    // The span file is the fourth view of the same run: its invariants
+    // must hold and its wire-word sums must re-add to the trace's totals.
+    const std::vector<std::string> span_issues = fgm::CheckSpans(
+        spans, trace.run_up_words, trace.run_down_words, &span_stats);
+    for (const std::string& issue : span_issues) {
+      checks.Expect(false, "spans: " + issue);
+    }
+    if (span_issues.empty()) checks.Expect(true, "spans");
+    critical_path = fgm::SummarizeCriticalPath(spans);
+  }
+
   PrintHeader(trace_path, trace);
   PrintRoundTable(trace, max_rounds);
   PrintSiteSkew(trace);
@@ -934,6 +1047,7 @@ int main(int argc, char** argv) {
   if (have_metrics) PrintSpeculation(metrics);
   PrintNetwork(trace, have_metrics ? &metrics : nullptr,
                have_ts ? &ts : nullptr);
+  if (have_spans) PrintCriticalPath(span_stats, critical_path, max_rounds);
   if (have_ts) {
     fgm::PrintBanner("Time series");
     const fgm::JsonNode* taken = ts.Find("taken");
@@ -959,7 +1073,9 @@ int main(int argc, char** argv) {
   }
 
   if (!json_out.empty()) {
-    WriteJsonReport(json_out, trace_path, trace, replay, checks);
+    WriteJsonReport(json_out, trace_path, trace, replay, checks,
+                    have_spans ? &span_stats : nullptr,
+                    have_spans ? &critical_path : nullptr);
     std::printf("json report: %s\n", json_out.c_str());
   }
   return (check && !checks.ok()) ? 1 : 0;

@@ -1,25 +1,73 @@
 // Offline trace-replay invariant checker (obs/replay.h).
 //
-//   ./build/tools/trace_check TRACE.jsonl [MORE.jsonl ...]
+//   ./build/tools/trace_check TRACE.jsonl [MORE.jsonl ...] [--spans=S.json]
 //
 // Exit code 0 when every trace satisfies the protocol invariants
 // (ψ-certification, quantum arithmetic, counter totals, wire-word
 // accounting), 1 when any violation is found, 2 on usage errors.
+//
+// With --spans=S.json the Chrome Trace Event span file a runner wrote via
+// --spans_out is checked too (obs/span.h CheckSpans): every span closed,
+// children inside their parents, and — when exactly one trace file is
+// given — the per-direction msg/datagram span word sums must equal the
+// trace's replayed up/down word totals.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "obs/replay.h"
+#include "obs/span.h"
+#include "util/flags.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s TRACE.jsonl [MORE.jsonl ...]\n", argv[0]);
+  fgm::Flags flags(argc, argv);
+  const std::string spans_path = flags.GetString("spans", "");
+  const std::vector<std::string>& traces = flags.positional();
+  if (!flags.Validate(
+          "trace_check TRACE.jsonl [MORE.jsonl ...] [--spans=S.json]") ||
+      (traces.empty() && spans_path.empty())) {
+    std::fprintf(stderr,
+                 "usage: %s TRACE.jsonl [MORE.jsonl ...] [--spans=S.json]\n",
+                 argv[0]);
     return 2;
   }
+
   bool ok = true;
-  for (int i = 1; i < argc; ++i) {
-    const fgm::ReplayReport report = fgm::CheckTraceFile(argv[i]);
-    std::printf("%s: %s\n", argv[i], report.Summary().c_str());
+  int64_t up_words = -1;
+  int64_t down_words = -1;
+  for (const std::string& path : traces) {
+    const fgm::ReplayReport report = fgm::CheckTraceFile(path);
+    std::printf("%s: %s\n", path.c_str(), report.Summary().c_str());
     ok = ok && report.ok();
+    up_words = report.up_words;
+    down_words = report.down_words;
+  }
+
+  if (!spans_path.empty()) {
+    std::string error;
+    std::vector<fgm::ParsedSpan> spans;
+    if (!fgm::ReadSpanFile(spans_path, &spans, &error)) {
+      std::fprintf(stderr, "%s: %s\n", spans_path.c_str(), error.c_str());
+      return 2;
+    }
+    // Word-sum conservation only pins down a single run's traffic.
+    const bool check_words = traces.size() == 1;
+    fgm::SpanCheckStats stats;
+    const std::vector<std::string> issues =
+        fgm::CheckSpans(spans, check_words ? up_words : -1,
+                        check_words ? down_words : -1, &stats);
+    std::printf(
+        "%s: spans=%lld open=%lld up_words=%lld down_words=%lld %s\n",
+        spans_path.c_str(), static_cast<long long>(stats.spans),
+        static_cast<long long>(stats.open),
+        static_cast<long long>(stats.msg_up_words),
+        static_cast<long long>(stats.msg_down_words),
+        issues.empty() ? "OK" : "FAIL");
+    for (const std::string& issue : issues) {
+      std::printf("  %s\n", issue.c_str());
+    }
+    ok = ok && issues.empty();
   }
   return ok ? 0 : 1;
 }
