@@ -360,11 +360,14 @@ RunResult Run(const RunConfig& base_config,
   if (sharded != nullptr) {
     ParallelRunnerOptions opts;
     opts.threads = config.threads;
+    opts.fast_merge = config.fast_merge;
     opts.metrics = config.metrics;
     opts.spans = config.spans;
     ParallelRunner par(sharded, opts);
     std::vector<StreamRecord> chunk;
-    constexpr int64_t kChunkCap = 32768;
+    // Matches ParallelRunnerOptions::max_horizon, so the adaptive horizon
+    // can actually reach its ceiling in quiet phases.
+    constexpr int64_t kChunkCap = 65536;
     bool exhausted = false;
     while (!exhausted) {
       chunk.clear();
@@ -404,6 +407,8 @@ RunResult Run(const RunConfig& base_config,
     result.parallel_windows = par.windows();
     result.parallel_barriers = par.barriers();
     result.replayed_records = par.replayed_records();
+    result.wasted_records = par.wasted_records();
+    result.soft_commits = par.soft_commits();
   } else {
     while (const StreamRecord* rec = next_event()) {
       protocol->ProcessRecord(*rec);

@@ -78,6 +78,12 @@ struct RunConfig {
   /// count; CENTRAL has no sharded implementation and always runs serial.
   int threads = 1;
 
+  /// Relaxed parallel merge (exec/parallel_runner.h): trades bit-identity
+  /// for commit throughput. Traffic statistics stay deterministic for a
+  /// fixed stream but may differ from the serial run — verify with
+  /// fgm_report. Only meaningful with threads > 1.
+  bool fast_merge = false;
+
   /// Route every protocol message through the serializing transport, which
   /// encodes, size-checks, decodes and verifies each one (strict wire
   /// accounting). Off: the transport follows FGM_STRICT_WIRE.
@@ -172,6 +178,8 @@ struct RunResult {
   int64_t parallel_windows = 0;
   int64_t parallel_barriers = 0;
   int64_t replayed_records = 0;
+  int64_t wasted_records = 0;
+  int64_t soft_commits = 0;
 
   // Simulated-network diagnostics (all zero on synchronous transports).
   bool net_enabled = false;

@@ -1,0 +1,116 @@
+// Adaptive speculation-horizon controller for the parallel runner.
+//
+// The horizon is the number of records offered to one speculation window.
+// Long windows amortize the per-window fork/join, checkpoint and merge
+// costs; short windows bound the work rolled back and replayed when a
+// window ends at a hard coordinator barrier. The controller balances the
+// two from run-time feedback:
+//
+//   * every window that ends at a hard barrier re-centers the horizon on
+//     an EWMA of the observed records-per-barrier gap, so the overshoot
+//     (speculated work past the barrier) stays proportional to the
+//     useful work;
+//   * every barrier-free window doubles the horizon (geometric probing)
+//     up to the maximum;
+//   * the committed soft-interaction density (subround crossings per
+//     record, the per-round subround density of obs/timeseries) sets a
+//     FLOOR: a window should span many subrounds, because under
+//     value-series speculation subround crossings are scalar re-basings
+//     that cost nothing to cross but a fork/join to split on. The floor
+//     keeps one dense-but-soft phase from pinning the engine at tiny
+//     windows.
+//
+// Deterministic: the horizon sequence depends only on the feedback
+// sequence, never on wall time or thread count, so parallel runs stay
+// bit-identical across machines and thread counts.
+
+#ifndef FGM_EXEC_HORIZON_H_
+#define FGM_EXEC_HORIZON_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace fgm {
+
+class HorizonController {
+ public:
+  HorizonController(int64_t min_horizon, int64_t max_horizon)
+      : min_(std::max<int64_t>(min_horizon, 1)),
+        max_(std::max(max_horizon, min_)),
+        horizon_(min_),
+        gap_ewma_(static_cast<double>(min_)) {
+    FGM_CHECK_GE(min_horizon, 1);
+    FGM_CHECK_GE(max_horizon, min_horizon);
+  }
+
+  /// Records to offer to the next speculation window.
+  int64_t horizon() const { return horizon_; }
+
+  /// Smoothed records-per-hard-barrier estimate (testing hook).
+  double gap_ewma() const { return gap_ewma_; }
+
+  /// Feedback after one window: `consumed` of `window` offered records
+  /// were committed; `barrier` is true when the window was cut short by a
+  /// hard coordinator barrier (rollback + replay happened).
+  void OnWindow(int64_t consumed, int64_t window, bool barrier) {
+    FGM_CHECK_GE(consumed, 0);
+    since_barrier_ += consumed;
+    if (barrier) {
+      // Re-center on the smoothed barrier gap so speculation overshoot
+      // stays proportional to the useful work between barriers.
+      hard_seen_ = true;
+      gap_ewma_ =
+          0.75 * gap_ewma_ + 0.25 * static_cast<double>(since_barrier_);
+      since_barrier_ = 0;
+      horizon_ = Clamp(static_cast<int64_t>(gap_ewma_));
+    } else if (consumed >= window) {
+      // Barrier-free window: probe longer windows geometrically.
+      horizon_ = Clamp(horizon_ * 2);
+    }
+  }
+
+  /// Density hint: `soft` committed soft interactions (subround
+  /// crossings) were observed over `records` committed records. Raises
+  /// the horizon floor to kSubroundsPerWindow subround lengths so each
+  /// window amortizes its fork/join over many soft crossings. Once a
+  /// hard barrier has been seen the floor is capped at the hard-gap
+  /// EWMA: speculating past the next hard barrier is pure waste, so
+  /// soft density may accelerate the ramp-up but never push the horizon
+  /// beyond the distance the hard barriers allow.
+  void NoteSoftDensity(int64_t soft, int64_t records) {
+    if (soft <= 0 || records <= 0) return;
+    const double per_soft =
+        static_cast<double>(records) / static_cast<double>(soft);
+    const double target = kSubroundsPerWindow * per_soft;
+    soft_floor_ = Clamp(soft_floor_ == 0
+                            ? static_cast<int64_t>(target)
+                            : static_cast<int64_t>(0.75 * static_cast<double>(
+                                                              soft_floor_) +
+                                                   0.25 * target));
+    const int64_t cap =
+        hard_seen_ ? Clamp(static_cast<int64_t>(gap_ewma_)) : max_;
+    horizon_ = std::max(horizon_, std::min(soft_floor_, cap));
+  }
+
+  int64_t soft_floor() const { return soft_floor_; }
+
+ private:
+  /// Windows should span about this many soft (subround) crossings.
+  static constexpr double kSubroundsPerWindow = 8.0;
+
+  int64_t Clamp(int64_t h) const { return std::clamp(h, min_, max_); }
+
+  int64_t min_;
+  int64_t max_;
+  int64_t horizon_;
+  double gap_ewma_;            ///< smoothed records-per-hard-barrier
+  int64_t since_barrier_ = 0;  ///< committed records since the last barrier
+  int64_t soft_floor_ = 0;     ///< density-derived lower bound (0 = none)
+  bool hard_seen_ = false;     ///< any hard barrier observed yet
+};
+
+}  // namespace fgm
+
+#endif  // FGM_EXEC_HORIZON_H_

@@ -1,6 +1,7 @@
 #include "exec/parallel_runner.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 
 #include "obs/metrics.h"
@@ -14,12 +15,11 @@ ParallelRunner::ParallelRunner(ShardedProtocol* protocol,
     : protocol_(protocol),
       opts_(options),
       pool_(options.threads),
+      use_values_(protocol->SupportsValueSeries()),
       shards_(static_cast<size_t>(protocol->shard_count())),
-      horizon_(std::max<int64_t>(options.min_horizon, 1)),
-      gap_ewma_(static_cast<double>(horizon_)) {
+      series_(static_cast<size_t>(protocol->shard_count())),
+      horizon_(options.min_horizon, options.max_horizon) {
   FGM_CHECK(protocol != nullptr);
-  FGM_CHECK_GE(opts_.min_horizon, 1);
-  FGM_CHECK_GE(opts_.max_horizon, opts_.min_horizon);
   if (opts_.metrics != nullptr) {
     MetricsRegistry* m = opts_.metrics;
     spec_windows_ = m->GetCounter("spec_windows");
@@ -28,6 +28,7 @@ ParallelRunner::ParallelRunner(ShardedProtocol* protocol,
     spec_committed_ = m->GetCounter("spec_records_committed");
     spec_replayed_ = m->GetCounter("spec_records_replayed");
     spec_wasted_ = m->GetCounter("spec_records_wasted");
+    spec_soft_ = m->GetCounter("spec_soft_commits");
     spec_speculate_timer_ = m->GetTimer("spec_speculate");
     spec_commit_timer_ = m->GetTimer("spec_commit");
     spec_horizon_stats_ = m->GetStats("spec_horizon_per_window");
@@ -44,60 +45,241 @@ void ParallelRunner::PublishThreadStats() {
         ->Set(static_cast<double>(tally[i]));
   }
   if (spec_horizon_ != nullptr) {
-    spec_horizon_->Set(static_cast<double>(horizon_));
+    spec_horizon_->Set(static_cast<double>(horizon_.horizon()));
   }
 }
 
 void ParallelRunner::Process(const StreamRecord* records, int64_t count) {
   int64_t done = 0;
   while (done < count) {
-    const int64_t window = std::min(horizon_, count - done);
-    const int64_t consumed = RunWindow(records + done, window);
+    const int64_t window = std::min(horizon_.horizon(), count - done);
+    int64_t soft = 0;
+    bool hard = false;
+    const int64_t consumed =
+        use_values_ ? RunValueWindow(records + done, window, &soft, &hard)
+                    : RunEventWindow(records + done, window, &hard);
     FGM_CHECK_GE(consumed, 1);
     done += consumed;
-    since_barrier_ += consumed;
-    if (consumed < window) {
-      // Hit a barrier: re-center the horizon on the smoothed barrier gap,
-      // so the speculation overshoot (work thrown away past the barrier)
-      // stays proportional to the useful work.
-      gap_ewma_ = 0.75 * gap_ewma_ + 0.25 * static_cast<double>(since_barrier_);
-      since_barrier_ = 0;
-      horizon_ = std::clamp(static_cast<int64_t>(gap_ewma_),
-                            opts_.min_horizon, opts_.max_horizon);
-    } else {
-      // Barrier-free window: probe longer windows geometrically.
-      horizon_ = std::min(horizon_ * 2, opts_.max_horizon);
-    }
+    horizon_.OnWindow(consumed, window, hard);
+    if (soft > 0) horizon_.NoteSoftDensity(soft, consumed);
   }
 }
 
-int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
+int64_t ParallelRunner::BeginWindow(const StreamRecord* records,
+                                    int64_t count) {
   ++windows_;
   if (spec_windows_ != nullptr) {
     spec_windows_->Add(1);
     spec_horizon_stats_->Add(static_cast<double>(count));
   }
-  SpanSink* const spans = opts_.spans;
-  int64_t window_span = 0;
-  if (spans != nullptr) {
-    // Explicitly parented to the run: the commit below may open protocol
-    // round/subround scopes that stay open across windows, so the stack
-    // top is not a valid causal parent here.
-    window_span = spans->BeginWithParent(SpanKind::kSpeculate, -1, 0, 0,
-                                         nullptr, spans->root());
-  }
-  const int64_t budget = protocol_->SpeculationBudget();
-  FGM_CHECK_GE(budget, 1);
-
   active_.clear();
+  if (use_values_) site_of_.resize(static_cast<size_t>(count));
   for (int64_t pos = 0; pos < count; ++pos) {
     const int32_t s = records[pos].site;
     FGM_CHECK(s >= 0 && s < static_cast<int32_t>(shards_.size()));
+    if (use_values_) site_of_[static_cast<size_t>(pos)] = s;
     Shard& shard = shards_[static_cast<size_t>(s)];
     if (shard.positions.empty()) active_.push_back(s);
     shard.positions.push_back(pos);
   }
-  for (int s : active_) protocol_->SaveCheckpoint(s);
+  if (opts_.spans == nullptr) return 0;
+  // Explicitly parented to the run: the commit below may open protocol
+  // round/subround scopes that stay open across windows, so the stack
+  // top is not a valid causal parent here.
+  return opts_.spans->BeginWithParent(SpanKind::kSpeculate, -1, 0, 0, nullptr,
+                                      opts_.spans->root());
+}
+
+void ParallelRunner::EmitShardSpans(int64_t window_span) {
+  SpanSink* const spans = opts_.spans;
+  if (spans == nullptr) return;
+  // Barrier-wait: from a shard's own finish to the slowest shard's
+  // finish (approximated by the join instant) — the blocked time that
+  // explains sub-linear speedup.
+  const int64_t join_tick = spans->Now();
+  for (int s : active_) {
+    const Shard& shard = shards_[static_cast<size_t>(s)];
+    Span seg;
+    seg.kind = SpanKind::kShardSpeculate;
+    seg.parent = window_span;
+    seg.site = s;
+    seg.begin = shard.span_begin;
+    seg.end = std::max(shard.span_end, shard.span_begin);
+    seg.count = shard.processed;
+    spans->EmitComplete(seg);
+    Span wait;
+    wait.kind = SpanKind::kBarrierWait;
+    wait.parent = window_span;
+    wait.site = s;
+    wait.begin = seg.end;
+    wait.end = std::max(join_tick, seg.end);
+    spans->EmitComplete(wait);
+  }
+}
+
+void ParallelRunner::EndWindow(int64_t window_span, int64_t commit_begin,
+                               int64_t consumed) {
+  SpanSink* const spans = opts_.spans;
+  if (spans != nullptr) {
+    Span commit;
+    commit.kind = SpanKind::kCommit;
+    commit.parent = window_span;
+    commit.begin = commit_begin;
+    commit.end = spans->Now();
+    commit.count = consumed;
+    spans->EmitComplete(commit);
+    spans->End(window_span);
+  }
+  for (int s : active_) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    shard.positions.clear();
+    shard.values.clear();
+    shard.events.clear();
+    shard.processed = 0;
+    shard.replay_prefix = 0;
+    shard.span_begin = 0;
+    shard.span_end = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Value-series path
+// ---------------------------------------------------------------------------
+
+int64_t ParallelRunner::RunValueWindow(const StreamRecord* records,
+                                       int64_t count, int64_t* soft,
+                                       bool* hard) {
+  const int64_t window_span = BeginWindow(records, count);
+  SpanSink* const spans = opts_.spans;
+
+  // Checkpoints guard the hard-barrier rollback; fast merge never rolls
+  // back, so it skips the per-window evaluator clone entirely.
+  if (!opts_.fast_merge) {
+    for (int s : active_) protocol_->SaveCheckpoint(s);
+  }
+
+  // Speculate: every active shard folds its WHOLE window batch into its
+  // drift and records the per-record value series. No early stop — the
+  // event rule runs at commit, over the recorded values.
+  {
+    ScopedTimer t(spec_speculate_timer_);
+    pool_.ParallelFor(static_cast<int>(active_.size()), [&](int j) {
+      const int s = active_[static_cast<size_t>(j)];
+      Shard& shard = shards_[static_cast<size_t>(s)];
+      if (spans != nullptr) shard.span_begin = spans->Now();
+      const int64_t n = static_cast<int64_t>(shard.positions.size());
+      shard.values.resize(static_cast<size_t>(n));
+      protocol_->SpeculateShard(s, records, shard.positions.data(), n,
+                                shard.values.data());
+      shard.processed = n;
+      if (spans != nullptr) shard.span_end = spans->Now();
+    });
+  }
+  EmitShardSpans(window_span);
+  if (spec_speculated_ != nullptr) spec_speculated_->Add(count);
+
+  // Commit walk: the protocol zips the per-shard value series back into
+  // global stream order (per-shard cursors — no sort) and replays its
+  // scalar event rule; hard interactions call back into
+  // MaterializeShards before reading drift state.
+  for (int s : active_) {
+    const Shard& shard = shards_[static_cast<size_t>(s)];
+    series_[static_cast<size_t>(s)] = ValueSeries{
+        shard.values.data(), static_cast<int64_t>(shard.values.size())};
+  }
+  const int64_t replayed_before = replayed_;
+  const int64_t wasted_before = wasted_;
+  int64_t commit_begin = 0;
+  if (spans != nullptr) commit_begin = spans->Now();
+  int64_t consumed;
+  {
+    ScopedTimer t(spec_commit_timer_);
+    consumed = protocol_->CommitValueSeries(
+        site_of_.data(), count, series_.data(),
+        [&](int64_t pos) { MaterializeShards(records, pos, window_span); },
+        opts_.fast_merge, soft);
+  }
+  FGM_CHECK_GE(consumed, 1);
+  *hard = consumed < count;
+  if (*hard) ++barriers_;
+  soft_commits_ += *soft;
+
+  if (spec_committed_ != nullptr) {
+    spec_committed_->Add(consumed);
+    spec_soft_->Add(*soft);
+    if (*hard) {
+      spec_barriers_->Add(1);
+      spec_replayed_->Add(replayed_ - replayed_before);
+      spec_wasted_->Add(wasted_ - wasted_before);
+    }
+  }
+  EndWindow(window_span, commit_begin, consumed);
+  return consumed;
+}
+
+void ParallelRunner::MaterializeShards(const StreamRecord* records,
+                                       int64_t pos, int64_t window_span) {
+  SpanSink* const spans = opts_.spans;
+  replay_shards_.clear();
+  for (int s : active_) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    const auto prefix_end = std::upper_bound(shard.positions.begin(),
+                                             shard.positions.end(), pos);
+    shard.replay_prefix = prefix_end - shard.positions.begin();
+    const int64_t n = static_cast<int64_t>(shard.positions.size());
+    wasted_ += n - shard.replay_prefix;
+    // A fully committed shard's evaluator is already exact.
+    if (n > shard.replay_prefix) replay_shards_.push_back(s);
+  }
+  // Restore + replay in parallel: shards are independent, and the
+  // recomputed values — discarded, the commit walk already consumed
+  // them — overwrite the shard's own spent value buffer. Replay from
+  // the bit-exact checkpoint repeats the identical delta sequence in
+  // the identical order, so the restored state matches the serial run.
+  pool_.ParallelFor(static_cast<int>(replay_shards_.size()), [&](int j) {
+    const int s = replay_shards_[static_cast<size_t>(j)];
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    if (spans != nullptr) shard.span_begin = spans->Now();
+    protocol_->RestoreCheckpoint(s);
+    if (shard.replay_prefix > 0) {
+      protocol_->SpeculateShard(s, records, shard.positions.data(),
+                                shard.replay_prefix, shard.values.data());
+    }
+    if (spans != nullptr) shard.span_end = spans->Now();
+  });
+  for (int s : replay_shards_) {
+    const Shard& shard = shards_[static_cast<size_t>(s)];
+    replayed_ += shard.replay_prefix;
+    if (spans != nullptr) {
+      Span replay;
+      replay.kind = SpanKind::kReplay;
+      replay.parent = window_span;
+      replay.site = s;
+      replay.begin = shard.span_begin;
+      replay.end = std::max(shard.span_end, shard.span_begin);
+      replay.count = shard.replay_prefix;
+      spans->EmitComplete(replay);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event/barrier path (protocols without value-series support, e.g. GM)
+// ---------------------------------------------------------------------------
+
+int64_t ParallelRunner::RunEventWindow(const StreamRecord* records,
+                                       int64_t count, bool* hard) {
+  const int64_t window_span = BeginWindow(records, count);
+  SpanSink* const spans = opts_.spans;
+  // Under fast merge every shard processes its whole batch (no early
+  // stop) and nothing ever rolls back.
+  const int64_t budget =
+      opts_.fast_merge ? std::numeric_limits<int64_t>::max()
+                       : protocol_->SpeculationBudget();
+  FGM_CHECK_GE(budget, 1);
+  if (!opts_.fast_merge) {
+    for (int s : active_) protocol_->SaveCheckpoint(s);
+  }
 
   // Speculate: every active shard advances through its own records. A
   // shard stops once its OWN event weight reaches the budget — the merged
@@ -108,65 +290,65 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
     pool_.ParallelFor(static_cast<int>(active_.size()), [&](int j) {
       const int s = active_[static_cast<size_t>(j)];
       Shard& shard = shards_[static_cast<size_t>(s)];
-      // Workers stamp only their own shard's timestamps; the coordinator
-      // turns them into spans after the join.
       if (spans != nullptr) shard.span_begin = spans->Now();
-      int64_t own_weight = 0;
-      for (const int64_t pos : shard.positions) {
-        double value = 0.0;
-        const int64_t w = protocol_->LocalProcess(records[pos], &value);
-        ++shard.processed;
-        if (w > 0) {
-          shard.events.push_back(
-              LocalEvent{pos, static_cast<int32_t>(s), w, value});
-          own_weight += w;
-          if (own_weight >= budget) break;
-        }
-      }
+      shard.processed = protocol_->LocalProcessBatch(
+          records, shard.positions.data(),
+          static_cast<int64_t>(shard.positions.size()), budget,
+          static_cast<int32_t>(s), &shard.events);
       if (spans != nullptr) shard.span_end = spans->Now();
     });
   }
-  if (spans != nullptr) {
-    // Barrier-wait: from a shard's own finish to the slowest shard's
-    // finish (approximated by the join instant) — the blocked time that
-    // explains sub-linear speedup.
-    const int64_t join_tick = spans->Now();
-    for (int s : active_) {
-      const Shard& shard = shards_[static_cast<size_t>(s)];
-      Span seg;
-      seg.kind = SpanKind::kShardSpeculate;
-      seg.parent = window_span;
-      seg.site = s;
-      seg.begin = shard.span_begin;
-      seg.end = std::max(shard.span_end, shard.span_begin);
-      seg.count = shard.processed;
-      spans->EmitComplete(seg);
-      Span wait;
-      wait.kind = SpanKind::kBarrierWait;
-      wait.parent = window_span;
-      wait.site = s;
-      wait.begin = seg.end;
-      wait.end = std::max(join_tick, seg.end);
-      spans->EmitComplete(wait);
-    }
-  }
+  EmitShardSpans(window_span);
   if (spec_speculated_ != nullptr) {
     int64_t processed = 0;
     for (int s : active_) processed += shards_[static_cast<size_t>(s)].processed;
     spec_speculated_->Add(processed);
   }
 
-  // Merge by global position (positions are unique, so the order — and
-  // everything committed from it — is deterministic).
+  // Zipper-merge the per-shard event lists (each already ascending in
+  // position) into global order — deterministic, no sort.
   merged_.clear();
-  for (int s : active_) {
-    const Shard& shard = shards_[static_cast<size_t>(s)];
-    merged_.insert(merged_.end(), shard.events.begin(), shard.events.end());
+  merge_cursor_.assign(shards_.size(), 0);
+  for (;;) {
+    int best = -1;
+    int64_t best_pos = 0;
+    for (int s : active_) {
+      const Shard& shard = shards_[static_cast<size_t>(s)];
+      const size_t cur = merge_cursor_[static_cast<size_t>(s)];
+      if (cur >= shard.events.size()) continue;
+      const int64_t p = shard.events[cur].pos;
+      if (best < 0 || p < best_pos) {
+        best = s;
+        best_pos = p;
+      }
+    }
+    if (best < 0) break;
+    merged_.push_back(
+        shards_[static_cast<size_t>(best)]
+            .events[merge_cursor_[static_cast<size_t>(best)]++]);
   }
-  std::sort(merged_.begin(), merged_.end(),
-            [](const LocalEvent& a, const LocalEvent& b) {
-              return a.pos < b.pos;
-            });
+
+  int64_t consumed;
+  int64_t commit_begin = 0;
+  const int64_t replayed_before = replayed_;
+  const int64_t wasted_before = wasted_;
+  ScopedTimer commit_timer(spec_commit_timer_);
+  if (opts_.fast_merge) {
+    // Relaxed commit: the whole window commits; events replay in order
+    // until the first one that triggers a coordinator interaction (which
+    // runs on live end-of-window state); the rest are stale — detection
+    // defers to the sites' next records.
+    if (spans != nullptr) commit_begin = spans->Now();
+    protocol_->CommitRecords(count);
+    for (const LocalEvent& event : merged_) {
+      if (protocol_->CommitEvent(event)) break;
+    }
+    consumed = count;
+    *hard = false;
+    EndWindow(window_span, commit_begin, consumed);
+    if (spec_committed_ != nullptr) spec_committed_->Add(consumed);
+    return consumed;
+  }
 
   // The barrier is the first position where the accumulated weight meets
   // the budget — exactly where the serial run enters the coordinator.
@@ -182,11 +364,6 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
     }
   }
 
-  int64_t consumed;
-  int64_t commit_begin = 0;
-  const int64_t replayed_before = replayed_;
-  const int64_t wasted_before = wasted_;
-  ScopedTimer commit_timer(spec_commit_timer_);
   if (barrier < 0) {
     // No coordinator interaction in this window: all speculation commits.
     // No shard can have stopped early (its own weight alone would have
@@ -205,35 +382,47 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
     consumed = count;
   } else {
     ++barriers_;
-    // Roll back every shard that ran past the barrier and replay its
-    // records up to it; replay from the bit-exact checkpoint repeats the
-    // identical operations, so the restored state matches the serial run.
+    replay_shards_.clear();
     for (int s : active_) {
       Shard& shard = shards_[static_cast<size_t>(s)];
       const auto prefix_end = std::upper_bound(shard.positions.begin(),
                                                shard.positions.end(), barrier);
-      const int64_t prefix = prefix_end - shard.positions.begin();
-      if (shard.processed > prefix) {
-        const int64_t replay_begin =
-            spans != nullptr ? spans->Now() : 0;
-        protocol_->RestoreCheckpoint(s);
-        replayed_ += prefix;
-        wasted_ += shard.processed - prefix;
-        for (int64_t i = 0; i < prefix; ++i) {
-          double value = 0.0;
-          protocol_->LocalProcess(records[shard.positions[static_cast<size_t>(i)]],
-                                  &value);
-        }
-        if (spans != nullptr) {
-          Span replay;
-          replay.kind = SpanKind::kReplay;
-          replay.parent = window_span;
-          replay.site = s;
-          replay.begin = replay_begin;
-          replay.end = spans->Now();
-          replay.count = prefix;
-          spans->EmitComplete(replay);
-        }
+      shard.replay_prefix = prefix_end - shard.positions.begin();
+      wasted_ += shard.processed - shard.replay_prefix;
+      if (shard.processed > shard.replay_prefix) replay_shards_.push_back(s);
+    }
+    // Roll back every shard that ran past the barrier and replay its
+    // records up to it, in parallel — the replays are independent per
+    // shard and the replayed events (already zipper-merged above) land
+    // in the shard's own spent event buffer. Replay from the bit-exact
+    // checkpoint repeats the identical operations, so the restored
+    // state matches the serial run.
+    pool_.ParallelFor(static_cast<int>(replay_shards_.size()), [&](int j) {
+      const int s = replay_shards_[static_cast<size_t>(j)];
+      Shard& shard = shards_[static_cast<size_t>(s)];
+      if (spans != nullptr) shard.span_begin = spans->Now();
+      protocol_->RestoreCheckpoint(s);
+      if (shard.replay_prefix > 0) {
+        shard.events.clear();
+        protocol_->LocalProcessBatch(records, shard.positions.data(),
+                                     shard.replay_prefix,
+                                     std::numeric_limits<int64_t>::max(),
+                                     static_cast<int32_t>(s), &shard.events);
+      }
+      if (spans != nullptr) shard.span_end = spans->Now();
+    });
+    for (int s : replay_shards_) {
+      const Shard& shard = shards_[static_cast<size_t>(s)];
+      replayed_ += shard.replay_prefix;
+      if (spans != nullptr) {
+        Span replay;
+        replay.kind = SpanKind::kReplay;
+        replay.parent = window_span;
+        replay.site = s;
+        replay.begin = shard.span_begin;
+        replay.end = std::max(shard.span_end, shard.span_begin);
+        replay.count = shard.replay_prefix;
+        spans->EmitComplete(replay);
       }
     }
     if (spans != nullptr) commit_begin = spans->Now();
@@ -244,25 +433,7 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
     }
     consumed = barrier + 1;
   }
-  if (spans != nullptr) {
-    Span commit;
-    commit.kind = SpanKind::kCommit;
-    commit.parent = window_span;
-    commit.begin = commit_begin;
-    commit.end = spans->Now();
-    commit.count = consumed;
-    spans->EmitComplete(commit);
-    spans->End(window_span);
-  }
-
-  for (int s : active_) {
-    Shard& shard = shards_[static_cast<size_t>(s)];
-    shard.positions.clear();
-    shard.events.clear();
-    shard.processed = 0;
-    shard.span_begin = 0;
-    shard.span_end = 0;
-  }
+  *hard = barrier >= 0;
   if (spec_committed_ != nullptr) {
     spec_committed_->Add(consumed);
     if (barrier >= 0) {
@@ -271,6 +442,7 @@ int64_t ParallelRunner::RunWindow(const StreamRecord* records, int64_t count) {
       spec_wasted_->Add(wasted_ - wasted_before);
     }
   }
+  EndWindow(window_span, commit_begin, consumed);
   return consumed;
 }
 

@@ -23,11 +23,36 @@
 // their checkpoints and replays them up to the barrier. Replay from a
 // bit-exact checkpoint applies the same floating-point operations in the
 // same order, so the committed run is bit-identical to the serial one.
+//
+// Value-series speculation (the batched fast path). For FGM the event
+// rule is *scalar*: a counter increment depends only on the site's
+// post-update value v = λφ(X_i/λ) and on the subround baseline (z_i, θ,
+// c_i) — and starting a new subround touches ONLY that scalar baseline,
+// never the drift. A protocol that also implements the value-series hooks
+// lets the runner split the work differently:
+//
+//   SpeculateShard    — workers fold whole per-shard record batches into
+//                       the drift and record every post-update value;
+//   CommitValueSeries — the coordinator replays the scalar event rule
+//                       over the recorded values in global stream order,
+//                       carrying the committed baseline across subround
+//                       crossings WITHOUT invalidating the speculated
+//                       drift. Only interactions that must read true
+//                       drift state (rebalance, round end) materialize
+//                       the sites via the runner's callback and end the
+//                       window.
+//
+// Subround boundaries thus become "soft" (scalar re-basing, no rollback)
+// and the rollback-replay machinery is reserved for the rare hard
+// interactions — the difference between the engine losing to serial and
+// beating it.
 
 #ifndef FGM_EXEC_SHARDED_H_
 #define FGM_EXEC_SHARDED_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "stream/record.h"
 
@@ -39,6 +64,13 @@ struct LocalEvent {
   int32_t site = 0;    ///< shard that produced the event
   int64_t weight = 0;  ///< contribution towards SpeculationBudget()
   double value = 0.0;  ///< protocol payload (e.g. φ(X_i) for a violation)
+};
+
+/// One shard's recorded post-update values for a speculation window,
+/// aligned with the shard's window records in stream order.
+struct ValueSeries {
+  const double* values = nullptr;
+  int64_t count = 0;
 };
 
 class ShardedProtocol {
@@ -57,6 +89,32 @@ class ShardedProtocol {
   /// the event weight (0 = no event); `*value` receives the event payload.
   /// Thread-safe across DIFFERENT shards.
   virtual int64_t LocalProcess(const StreamRecord& record, double* value) = 0;
+
+  /// Batched LocalProcess over one shard's window records: processes
+  /// base[positions[j]] for j in [0, n) in order, appending any events
+  /// (with their global positions) to `events`, and stops early once the
+  /// shard's OWN accumulated event weight reaches `budget`. Returns the
+  /// number of records processed. The default loops LocalProcess;
+  /// protocols override it to amortize the sketch-projection mapping over
+  /// the whole batch. Thread-safe across DIFFERENT shards.
+  virtual int64_t LocalProcessBatch(const StreamRecord* base,
+                                    const int64_t* positions, int64_t n,
+                                    int64_t budget, int32_t shard,
+                                    std::vector<LocalEvent>* events) {
+    int64_t own_weight = 0;
+    int64_t processed = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      double value = 0.0;
+      const int64_t w = LocalProcess(base[positions[j]], &value);
+      ++processed;
+      if (w > 0) {
+        events->push_back(LocalEvent{positions[j], shard, w, value});
+        own_weight += w;
+        if (own_weight >= budget) break;
+      }
+    }
+    return processed;
+  }
 
   /// Accounts `count` records as globally processed (coordinator-side
   /// bookkeeping such as FGM's total update counter). Called before the
@@ -80,6 +138,53 @@ class ShardedProtocol {
   /// record and speculation would reorder deliveries. The runner falls
   /// back to serial execution.
   virtual bool SupportsSpeculation() const { return true; }
+
+  // --- Value-series hooks (see the header comment). Optional; only
+  // consulted when SupportsSpeculation() is true. ---
+
+  /// True when the protocol's event rule is scalar in the recorded
+  /// post-update value, so the runner may use SpeculateShard +
+  /// CommitValueSeries instead of the event/barrier path.
+  virtual bool SupportsValueSeries() const { return false; }
+
+  /// Worker-side batched speculation for one shard: processes
+  /// base[positions[j]] for j in [0, n) in order and writes each record's
+  /// post-update value into values[j]. Never evaluates the event rule —
+  /// that is CommitValueSeries' job. Thread-safe across DIFFERENT shards.
+  virtual void SpeculateShard(int shard, const StreamRecord* base,
+                              const int64_t* positions, int64_t n,
+                              double* values) {
+    (void)shard, (void)base, (void)positions, (void)n, (void)values;
+  }
+
+  /// Coordinator-side commit of a speculated window in global stream
+  /// order: site_by_pos[p] names the shard of window position p and
+  /// series[shard] holds that shard's recorded values (consumed in
+  /// order). The protocol advances its committed scalar state — event
+  /// rule, traffic, traces, record accounting — bit-identically to the
+  /// serial run, and calls materialize(p) immediately before any
+  /// interaction that must read true site drift state (rebalance, round
+  /// end); the callee rebuilds every shard's drift as of position p.
+  /// Returns the number of records committed: `count` when the window
+  /// completed (possibly crossing several subrounds softly), else the
+  /// position just past the materialized interaction.
+  /// `*soft_interactions` (may be null) accumulates the soft coordinator
+  /// interactions committed inside the window.
+  ///
+  /// With `fast_merge` the bit-identity contract is relaxed (see
+  /// DESIGN.md §5h): the whole window always commits (returns `count`),
+  /// coordinator interactions run on live end-of-window site state
+  /// without materialization, and event detection for values recorded
+  /// after an interaction is deferred to the next window (sound, because
+  /// the event rules are cumulative).
+  virtual int64_t CommitValueSeries(
+      const int32_t* site_by_pos, int64_t count, const ValueSeries* series,
+      const std::function<void(int64_t)>& materialize, bool fast_merge,
+      int64_t* soft_interactions) {
+    (void)site_by_pos, (void)count, (void)series, (void)materialize;
+    (void)fast_merge, (void)soft_interactions;
+    return 0;
+  }
 };
 
 }  // namespace fgm

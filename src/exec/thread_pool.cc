@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int threads) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
+    shutdown_.store(true, std::memory_order_relaxed);
   }
   job_ready_.notify_all();
   for (std::thread& t : workers_) t.join();
@@ -39,18 +39,33 @@ std::vector<int64_t> ThreadPool::TaskTally() const {
 }
 
 void ThreadPool::WorkerLoop(int slot) {
+  // Spin budget before blocking: long enough to bridge the gap between
+  // back-to-back speculation windows, short enough that an idle pool
+  // parks its workers within microseconds.
+  constexpr int kSpinIterations = 4096;
   int64_t seen = 0;
   for (;;) {
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+      if (shutdown_.load(std::memory_order_relaxed) ||
+          generation_.load(std::memory_order_relaxed) != seen) {
+        break;
+      }
+    }
     const std::function<void(int)>* job;
     int limit;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      job_ready_.wait(lock,
-                      [&] { return shutdown_ || generation_ != seen; });
-      if (shutdown_) return;
+      // The predicate only reads atomics; when the spin already saw the
+      // new generation the wait returns without sleeping, and the mutex
+      // acquisition orders the job snapshot after the publisher's writes.
+      job_ready_.wait(lock, [&] {
+        return shutdown_.load(std::memory_order_relaxed) ||
+               generation_.load(std::memory_order_relaxed) != seen;
+      });
+      if (shutdown_.load(std::memory_order_relaxed)) return;
       // Snapshot the job under the lock; a worker that missed a whole
       // job (generation advanced twice) simply joins the current one.
-      seen = generation_;
+      seen = generation_.load(std::memory_order_relaxed);
       job = job_;
       limit = job_limit_;
       ++draining_;
@@ -83,7 +98,7 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   job_limit_ = n;
   next_.store(0, std::memory_order_relaxed);
   finished_ = 0;
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_release);
   lock.unlock();
   job_ready_.notify_all();
 

@@ -2,11 +2,13 @@
 //
 // The pool runs index-based parallel-for jobs: workers (plus the calling
 // thread) pull task indices from a shared atomic cursor, so uneven task
-// costs balance dynamically. Workers BLOCK between jobs (condition
-// variable, no spinning) — on an oversubscribed or single-core host the
-// pool degrades to roughly serial execution instead of burning cycles,
-// which matters because the simulator is routinely run under `taskset`
-// and inside small CI containers.
+// costs balance dynamically. Between jobs workers SPIN briefly on the
+// job generation (the parallel runner submits windows back to back, and
+// a condition-variable round trip per window costs more than a small
+// window's work) and then BLOCK — on an oversubscribed or single-core
+// host the pool still degrades to roughly serial execution instead of
+// burning cycles, which matters because the simulator is routinely run
+// under `taskset` and inside small CI containers.
 
 #ifndef FGM_EXEC_THREAD_POOL_H_
 #define FGM_EXEC_THREAD_POOL_H_
@@ -57,8 +59,11 @@ class ThreadPool {
   std::condition_variable job_done_;
   const std::function<void(int)>* job_ = nullptr;
   int job_limit_ = 0;
-  int64_t generation_ = 0;
-  bool shutdown_ = false;
+  // Atomics so idle workers can poll for the next job without the mutex;
+  // both are only WRITTEN under mu_, which keeps the condvar protocol
+  // sound. Workers still snapshot job_/job_limit_ under the lock.
+  std::atomic<int64_t> generation_{0};
+  std::atomic<bool> shutdown_{false};
   int finished_ = 0;  // tasks completed in the current job (guarded by mu_)
   int draining_ = 0;  // workers currently inside RunTasks (guarded by mu_)
   std::vector<int64_t> task_tally_;  // per-thread lifetime task counts

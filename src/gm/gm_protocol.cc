@@ -111,6 +111,50 @@ int64_t GmProtocol::LocalProcess(const StreamRecord& record, double* value) {
   return v > 0.0 ? 1 : 0;
 }
 
+int64_t GmProtocol::LocalProcessBatch(const StreamRecord* base,
+                                      const int64_t* positions, int64_t n,
+                                      int64_t budget, int32_t shard,
+                                      std::vector<LocalEvent>* events) {
+  Site& site = sites_[static_cast<size_t>(shard)];
+  int64_t own_weight = 0;
+  int64_t processed = 0;
+  // Map in blocks through the batched projection, then apply per record:
+  // the violation test needs each record's post-update value, but the
+  // hash-family work amortizes over the whole block.
+  constexpr int64_t kMapBlock = 512;
+  std::vector<CellUpdate>& deltas = site.scratch;
+  std::vector<size_t> ends;
+  for (int64_t start = 0; start < n && own_weight < budget;
+       start += kMapBlock) {
+    const int64_t m = std::min(kMapBlock, n - start);
+    deltas.clear();
+    ends.clear();
+    {
+      ScopedTimer timed(sketch_timer_);
+      query_->MapRecordBatch(base, positions + start, m, &deltas, &ends);
+    }
+    ScopedTimer timed(safe_fn_timer_);
+    size_t delta_begin = 0;
+    for (int64_t j = 0; j < m; ++j) {
+      const int64_t pos = positions[start + j];
+      site.log.Record(base[pos], query_->dimension());
+      const size_t delta_end = ends[static_cast<size_t>(j)];
+      for (size_t u = delta_begin; u < delta_end; ++u) {
+        site.evaluator->ApplyDelta(deltas[u].index, deltas[u].delta);
+      }
+      delta_begin = delta_end;
+      const double v = site.evaluator->Value();
+      ++site.updates_since_known;
+      ++processed;
+      if (v > 0.0) {
+        events->push_back(LocalEvent{pos, shard, 1, v});
+        if (++own_weight >= budget) break;
+      }
+    }
+  }
+  return processed;
+}
+
 bool GmProtocol::CommitEvent(const LocalEvent& event) {
   ++violations_;
   if (trace_ != nullptr) {

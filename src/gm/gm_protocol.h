@@ -94,6 +94,9 @@ class GmProtocol : public MonitoringProtocol, public ShardedProtocol {
   int shard_count() const override { return sites_k_; }
   int64_t SpeculationBudget() const override { return 1; }
   int64_t LocalProcess(const StreamRecord& record, double* value) override;
+  int64_t LocalProcessBatch(const StreamRecord* base, const int64_t* positions,
+                            int64_t n, int64_t budget, int32_t shard,
+                            std::vector<LocalEvent>* events) override;
   void CommitRecords(int64_t count) override { (void)count; }
   bool CommitEvent(const LocalEvent& event) override;
   void SaveCheckpoint(int shard) override;

@@ -30,6 +30,22 @@ void AgmsProjection::Map(uint64_t key, double weight,
   }
 }
 
+void AgmsProjection::MapBatch(const uint64_t* keys, const double* weights,
+                              size_t count, CellUpdate* out) const {
+  for (int r = 0; r < depth_; ++r) {
+    // Row-major keeps one row's hash family hot across the whole batch
+    // (the FastAgms::UpdateBatch idiom); the record-major store keeps the
+    // per-record delta slices contiguous for the consumer.
+    const BucketHash& bucket = bucket_[static_cast<size_t>(r)];
+    const SignHash& sign = sign_[static_cast<size_t>(r)];
+    for (size_t j = 0; j < count; ++j) {
+      out[j * static_cast<size_t>(depth_) + static_cast<size_t>(r)] =
+          CellUpdate{CellIndex(r, bucket(keys[j])),
+                     sign(keys[j]) * weights[j]};
+    }
+  }
+}
+
 FastAgms::FastAgms(std::shared_ptr<const AgmsProjection> projection)
     : projection_(std::move(projection)),
       state_(projection_->dimension()) {}

@@ -20,6 +20,7 @@
 #include "exec/thread_pool.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "safezone/ball.h"
@@ -343,6 +344,134 @@ TEST(ParallelDeterminism, ParanoidModeHoldsUnderParallelExecution) {
       RunOnce(ProtocolKind::kFgm, QueryKind::kSelfJoin, 4);
   unsetenv("FGM_PARANOID");
   ExpectIdentical(serial, parallel, "paranoid");
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity on the batched fast paths: spans enabled, simulated
+// network chaos, and the documented fast_merge relaxation.
+
+RunOutput RunOnceWithSpans(ProtocolKind protocol, int threads) {
+  RunConfig config;
+  config.protocol = protocol;
+  config.query = QueryKind::kSelfJoin;
+  config.sites = 5;
+  config.depth = 5;
+  config.width = 60;
+  config.check_every = 5000;
+  config.threads = threads;
+  MemoryTraceSink sink;
+  config.trace = &sink;
+  SpanSink spans;
+  config.spans = &spans;
+
+  WorldCupConfig wc;
+  wc.sites = config.sites;
+  wc.total_updates = 30000;
+  const std::vector<StreamRecord> trace = GenerateWorldCupTrace(wc);
+
+  RunOutput out;
+  out.result = Run(config, trace);
+  EXPECT_GT(spans.spans(), 0);
+  out.trace_lines.reserve(sink.events_log().size());
+  for (const TraceEvent& e : sink.events_log()) {
+    out.trace_lines.push_back(JsonlTraceSink::EventJson(e));
+  }
+  return out;
+}
+
+// Span collection timestamps worker segments but must not perturb the
+// protocol: with span_wire off, traffic and traces stay bit-identical to
+// serial for every protocol that shards (the window/shard/replay spans
+// themselves are wall-clock data, so only their presence is asserted).
+TEST(ParallelDeterminism, SpansEnabledStaysBitIdentical) {
+  for (ProtocolKind protocol :
+       {ProtocolKind::kFgm, ProtocolKind::kFgmOpt, ProtocolKind::kGm}) {
+    const RunOutput serial = RunOnceWithSpans(protocol, 1);
+    for (int threads : {2, 8}) {
+      const RunOutput parallel = RunOnceWithSpans(protocol, threads);
+      ExpectIdentical(serial, parallel,
+                      std::string(ProtocolKindName(protocol)) +
+                          " spans threads=" + std::to_string(threads));
+    }
+  }
+}
+
+RunOutput RunOnceChaos(int threads) {
+  RunConfig config;
+  config.protocol = ProtocolKind::kFgm;
+  config.query = QueryKind::kSelfJoin;
+  config.sites = 5;
+  config.depth = 5;
+  config.width = 60;
+  config.check_every = 5000;
+  config.threads = threads;
+  config.net.latency = "uniform:1-16";
+  config.net.drop = 0.15;
+  MemoryTraceSink sink;
+  config.trace = &sink;
+
+  WorldCupConfig wc;
+  wc.sites = config.sites;
+  wc.total_updates = 30000;
+  const std::vector<StreamRecord> trace = GenerateWorldCupTrace(wc);
+
+  RunOutput out;
+  out.result = Run(config, trace);
+  out.trace_lines.reserve(sink.events_log().size());
+  for (const TraceEvent& e : sink.events_log()) {
+    out.trace_lines.push_back(JsonlTraceSink::EventJson(e));
+  }
+  return out;
+}
+
+// The discrete-event network cannot be sharded (delivery order is part
+// of protocol state), so --threads over a simulated network must fall
+// back to the serial loop and reproduce it exactly — drops, latency,
+// retransmissions and all.
+TEST(ParallelDeterminism, SimulatedNetworkChaosFallsBackBitIdentical) {
+  const RunOutput serial = RunOnceChaos(1);
+  EXPECT_TRUE(serial.result.net_enabled);
+  EXPECT_GT(serial.result.net.dropped_msgs, 0);
+  const RunOutput parallel = RunOnceChaos(8);
+  EXPECT_EQ(parallel.result.threads_used, 1);
+  EXPECT_EQ(parallel.result.parallel_windows, 0);
+  ExpectIdentical(serial, parallel, "sim chaos");
+}
+
+// fast_merge gives up bit-identity with serial (coordinator interactions
+// run on live end-of-window state) but must stay deterministic for a
+// fixed stream: two runs at the same thread count agree bit for bit, no
+// window ever rolls back, and the monitoring output remains sane.
+TEST(ParallelDeterminism, FastMergeDeterministicAndNeverRollsBack) {
+  auto run_fast = [](int threads) {
+    RunConfig config;
+    config.protocol = ProtocolKind::kFgm;
+    config.query = QueryKind::kSelfJoin;
+    config.sites = 5;
+    config.depth = 5;
+    config.width = 60;
+    config.threads = threads;
+    config.fast_merge = true;
+    WorldCupConfig wc;
+    wc.sites = config.sites;
+    wc.total_updates = 30000;
+    return ::fgm::Run(config, GenerateWorldCupTrace(wc));
+  };
+  const RunResult a = run_fast(4);
+  const RunResult b = run_fast(4);
+  EXPECT_GT(a.parallel_windows, 0);
+  EXPECT_EQ(a.parallel_barriers, 0);
+  EXPECT_EQ(a.replayed_records, 0);
+  EXPECT_EQ(a.wasted_records, 0);
+  EXPECT_EQ(a.traffic.total_words(), b.traffic.total_words());
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.final_estimate, b.final_estimate);
+  EXPECT_EQ(a.events, b.events);
+  // Same exact ground truth as any other mode; the estimate still tracks
+  // it (loosely — fast merge defers some violations to the next window).
+  EXPECT_EQ(a.final_truth, b.final_truth);
+  EXPECT_GT(a.rounds, 0);
+  EXPECT_GT(a.final_estimate, 0.0);
 }
 
 }  // namespace

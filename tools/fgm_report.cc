@@ -62,7 +62,10 @@ constexpr int kKinds = static_cast<int>(fgm::MsgKind::kKindCount);
 
 /// Schema version of the --json_out document. Bump on any
 /// backwards-incompatible change to the report layout.
-constexpr int64_t kReportSchemaVersion = 1;
+/// v2: added the "speculation" object (parallel-runner efficiency:
+/// windows/barriers/soft_commits, committed/wasted/replayed tallies and
+/// the derived waste ratio, replayed-per-window and barrier rate).
+constexpr int64_t kReportSchemaVersion = 2;
 
 std::string Format(const char* fmt, ...) {
   char buf[512];
@@ -748,27 +751,80 @@ double MetricTimerSeconds(const fgm::JsonNode& m, const char* name) {
   return v != nullptr ? v->AsDouble() : 0.0;
 }
 
-void PrintSpeculation(const fgm::JsonNode& m) {
-  const int64_t windows = MetricCounter(m, "spec_windows");
-  if (windows == 0) return;
+/// The speculation-efficiency numbers the report derives from the
+/// metrics registry's spec_* counters. All zero (windows == 0) when the
+/// run was serial.
+struct SpeculationSummary {
+  int64_t windows = 0;
+  int64_t barriers = 0;
+  int64_t speculated = 0;
+  int64_t committed = 0;
+  int64_t replayed = 0;
+  int64_t wasted = 0;
+  int64_t soft_commits = 0;
+
+  double barrier_rate() const {
+    return windows > 0
+               ? static_cast<double>(barriers) / static_cast<double>(windows)
+               : 0.0;
+  }
+  /// Discarded speculative work per useful record.
+  double waste_ratio() const {
+    return static_cast<double>(wasted) /
+           std::max<double>(1.0, static_cast<double>(committed));
+  }
+  /// Serial-side replay burden per window.
+  double replayed_per_window() const {
+    return windows > 0
+               ? static_cast<double>(replayed) / static_cast<double>(windows)
+               : 0.0;
+  }
+  double commit_efficiency() const {
+    return static_cast<double>(committed) /
+           std::max<double>(1.0, static_cast<double>(speculated));
+  }
+};
+
+SpeculationSummary ReadSpeculation(const fgm::JsonNode& m) {
+  SpeculationSummary s;
+  s.windows = MetricCounter(m, "spec_windows");
+  s.barriers = MetricCounter(m, "spec_barriers");
+  s.speculated = MetricCounter(m, "spec_records_speculated");
+  s.committed = MetricCounter(m, "spec_records_committed");
+  s.replayed = MetricCounter(m, "spec_records_replayed");
+  s.wasted = MetricCounter(m, "spec_records_wasted");
+  s.soft_commits = MetricCounter(m, "spec_soft_commits");
+  return s;
+}
+
+/// The spec_* counters must balance: every speculated record was either
+/// committed or wasted, and replay only re-derives committed prefixes.
+void CheckSpeculation(const SpeculationSummary& s, Checker* c) {
+  if (s.windows == 0) return;
+  c->ExpectEqInt(s.speculated, s.committed + s.wasted,
+                 "speculation: speculated vs committed + wasted");
+  c->Expect(s.replayed <= s.committed,
+            "speculation: replayed exceeds committed records");
+  c->Expect(s.barriers <= s.windows,
+            "speculation: more barriers than windows");
+}
+
+void PrintSpeculation(const fgm::JsonNode& m, const SpeculationSummary& s) {
+  if (s.windows == 0) return;
   fgm::PrintBanner("Speculation efficiency (parallel runner)");
-  const int64_t barriers = MetricCounter(m, "spec_barriers");
-  const int64_t speculated = MetricCounter(m, "spec_records_speculated");
-  const int64_t committed = MetricCounter(m, "spec_records_committed");
-  const int64_t replayed = MetricCounter(m, "spec_records_replayed");
-  const int64_t wasted = MetricCounter(m, "spec_records_wasted");
-  const double spec_d = std::max<double>(1.0, static_cast<double>(speculated));
   std::printf(
-      "windows=%lld  barriers=%lld (%.3f per window)\n"
+      "windows=%lld  barriers=%lld (barrier rate %.3f per window)  "
+      "soft_commits=%lld\n"
       "records: speculated=%lld committed=%lld replayed=%lld wasted=%lld\n"
-      "efficiency: committed/speculated=%.4f  waste fraction=%.4f\n"
+      "efficiency: committed/speculated=%.4f  wasted/committed=%.4f  "
+      "replayed/window=%.1f\n"
       "time: speculate=%.3fs commit=%.3fs\n",
-      static_cast<long long>(windows), static_cast<long long>(barriers),
-      static_cast<double>(barriers) / static_cast<double>(windows),
-      static_cast<long long>(speculated), static_cast<long long>(committed),
-      static_cast<long long>(replayed), static_cast<long long>(wasted),
-      static_cast<double>(committed) / spec_d,
-      static_cast<double>(replayed + wasted) / spec_d,
+      static_cast<long long>(s.windows), static_cast<long long>(s.barriers),
+      s.barrier_rate(), static_cast<long long>(s.soft_commits),
+      static_cast<long long>(s.speculated),
+      static_cast<long long>(s.committed),
+      static_cast<long long>(s.replayed), static_cast<long long>(s.wasted),
+      s.commit_efficiency(), s.waste_ratio(), s.replayed_per_window(),
       MetricTimerSeconds(m, "spec_speculate"),
       MetricTimerSeconds(m, "spec_commit"));
   const fgm::JsonNode* gauges = m.Find("metrics") != nullptr
@@ -834,7 +890,8 @@ void WriteJsonReport(const std::string& path, const std::string& trace_path,
                      const TraceSummary& t, const fgm::ReplayReport& replay,
                      const Checker& checks,
                      const fgm::SpanCheckStats* span_stats,
-                     const fgm::CriticalPathSummary* cp) {
+                     const fgm::CriticalPathSummary* cp,
+                     const SpeculationSummary* spec) {
   fgm::JsonWriter w;
   w.BeginObject();
   w.Field("version", kReportSchemaVersion);
@@ -926,6 +983,22 @@ void WriteJsonReport(const std::string& path, const std::string& trace_path,
     w.EndArray();
     w.EndObject();
   }
+  if (spec != nullptr && spec->windows > 0) {
+    w.Key("speculation");
+    w.BeginObject();
+    w.Field("windows", spec->windows);
+    w.Field("barriers", spec->barriers);
+    w.Field("barrier_rate", spec->barrier_rate());
+    w.Field("soft_commits", spec->soft_commits);
+    w.Field("speculated", spec->speculated);
+    w.Field("committed", spec->committed);
+    w.Field("replayed", spec->replayed);
+    w.Field("wasted", spec->wasted);
+    w.Field("commit_efficiency", spec->commit_efficiency());
+    w.Field("waste_ratio", spec->waste_ratio());
+    w.Field("replayed_per_window", spec->replayed_per_window());
+    w.EndObject();
+  }
   w.Key("replay");
   w.BeginObject();
   w.Field("ok", replay.ok());
@@ -964,6 +1037,10 @@ int main(int argc, char** argv) {
   const std::string json_out = flags.GetString("json_out", "");
   const int64_t max_rounds = flags.GetInt("max_rounds", 24);
   const bool check = flags.GetBool("check", true);
+  // Fixture hook: fail unless the metrics carry parallel-runner
+  // speculation counters (spec_windows > 0). Guards the report's
+  // speculation section against silently disappearing.
+  const bool expect_spec = flags.GetBool("expect_spec", false);
   if (trace_path.empty() && !flags.positional().empty()) {
     trace_path = flags.positional().front();
   }
@@ -976,7 +1053,7 @@ int main(int argc, char** argv) {
                  "usage: fgm_report --trace=trace.jsonl "
                  "[--metrics=metrics.json] [--timeseries=ts.json] "
                  "[--spans=spans.json] [--json_out=report.json] "
-                 "[--max_rounds=N] [--check=true]\n");
+                 "[--max_rounds=N] [--check=true] [--expect_spec=false]\n");
     return 2;
   }
 
@@ -1003,6 +1080,16 @@ int main(int argc, char** argv) {
     }
     have_metrics = true;
     CheckMetrics(trace, metrics, &checks);
+  }
+  SpeculationSummary spec;
+  if (have_metrics) {
+    spec = ReadSpeculation(metrics);
+    CheckSpeculation(spec, &checks);
+  }
+  if (expect_spec) {
+    checks.Expect(spec.windows > 0,
+                  "expect_spec: metrics carry no speculation counters "
+                  "(spec_windows == 0 or --metrics missing)");
   }
 
   int64_t round_samples = 0, interval_samples = 0;
@@ -1044,7 +1131,7 @@ int main(int argc, char** argv) {
   PrintRoundTable(trace, max_rounds);
   PrintSiteSkew(trace);
   PrintOptimizerAudit(trace, max_rounds);
-  if (have_metrics) PrintSpeculation(metrics);
+  if (have_metrics) PrintSpeculation(metrics, spec);
   PrintNetwork(trace, have_metrics ? &metrics : nullptr,
                have_ts ? &ts : nullptr);
   if (have_spans) PrintCriticalPath(span_stats, critical_path, max_rounds);
@@ -1075,7 +1162,8 @@ int main(int argc, char** argv) {
   if (!json_out.empty()) {
     WriteJsonReport(json_out, trace_path, trace, replay, checks,
                     have_spans ? &span_stats : nullptr,
-                    have_spans ? &critical_path : nullptr);
+                    have_spans ? &critical_path : nullptr,
+                    have_metrics ? &spec : nullptr);
     std::printf("json report: %s\n", json_out.c_str());
   }
   return (check && !checks.ok()) ? 1 : 0;
