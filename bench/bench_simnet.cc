@@ -13,6 +13,12 @@
 // under chaos), and the delivery/drop/retransmit/resync ledger. The
 // max_violation column must read 0 in every row — loss, delay and
 // crashes may cost traffic, never correctness.
+//
+// A second sweep pits FGM/O's rate-only planner against health-aware
+// planning (--health_plan: the obs/health.h monitor's EWMA rates and
+// per-link shipping costs feed the optimizer) on the lossy and faulted
+// points. The fgmo+health rows must ship fewer total words than their
+// fgmo twins — that delta is the PR-gated payoff of the health loop.
 
 #include <cstdio>
 #include <string>
@@ -110,6 +116,77 @@ void RunSweep() {
   std::printf("\nsimulated-network sweep (Q1 self-join, 30k updates, "
               "5 sites):\n");
   table.Print();
+
+  // FGM/O under chaos: rate-only vs health-aware planning on the lossy
+  // and faulted grid points. Same stream, same seeds — the only degree
+  // of freedom is the plan source.
+  struct OptPoint {
+    const char* label;
+    const char* latency;
+    double drop;
+    const char* fault_plan;
+    bool health;
+  };
+  const OptPoint opt_points[] = {
+      {"fgmo,fixed4,drop10", "fixed:4", 0.1, "", false},
+      {"fgmo+health,fixed4,drop10", "fixed:4", 0.1, "", true},
+      {"fgmo,fixed4,drop10,crash", "fixed:4", 0.1,
+       "crash:site=2,at=10000,rejoin=16000", false},
+      {"fgmo+health,fixed4,drop10,crash", "fixed:4", 0.1,
+       "crash:site=2,at=10000,rejoin=16000", true},
+      {"fgmo,uniform1-16,drop20,crash", "uniform:1-16", 0.2,
+       "crash:site=2,at=20000,rejoin=26000", false},
+      {"fgmo+health,uniform1-16,drop20,crash", "uniform:1-16", 0.2,
+       "crash:site=2,at=20000,rejoin=26000", true},
+  };
+  TablePrinter opt_table({"point", "words", "rounds", "subrounds",
+                          "delivered", "dropped", "retrans", "resyncs",
+                          "viol"});
+  for (const OptPoint& p : opt_points) {
+    RunConfig config;
+    config.protocol = ProtocolKind::kFgmOpt;
+    config.query = QueryKind::kSelfJoin;
+    config.sites = 5;
+    config.depth = 5;
+    config.width = 60;
+    config.check_every = 1000;
+    config.strict_wire = true;
+    config.net.latency = p.latency;
+    config.net.drop = p.drop;
+    config.net.fault_plan = p.fault_plan;
+    config.health_planning = p.health;
+    const RunResult r = Run(config, trace);
+
+    if (r.max_violation != 0.0) {
+      std::fprintf(stderr, "simnet point %s missed a threshold bound\n",
+                   p.label);
+      std::exit(1);
+    }
+    opt_table.AddRow({p.label, std::to_string(r.traffic.total_words()),
+                      std::to_string(r.rounds), std::to_string(r.subrounds),
+                      std::to_string(r.net.delivered_msgs),
+                      std::to_string(r.net.dropped_msgs),
+                      std::to_string(r.net.retransmitted_msgs),
+                      std::to_string(r.net.resyncs),
+                      bench::Fmt("%.3g", r.max_violation)});
+    bench::JsonReport::Get().AddEntry(
+        p.label,
+        {{"total_words", static_cast<double>(r.traffic.total_words())},
+         {"upstream_words", static_cast<double>(r.traffic.upstream_words)},
+         {"rounds", static_cast<double>(r.rounds)},
+         {"subrounds", static_cast<double>(r.subrounds)},
+         {"rebalances", static_cast<double>(r.rebalances)},
+         {"delivered_msgs", static_cast<double>(r.net.delivered_msgs)},
+         {"dropped_msgs", static_cast<double>(r.net.dropped_msgs)},
+         {"retransmitted_words",
+          static_cast<double>(r.net.retransmitted_words)},
+         {"resyncs", static_cast<double>(r.net.resyncs)},
+         {"alerts_raised", static_cast<double>(r.alerts_raised)},
+         {"alerts_cleared", static_cast<double>(r.alerts_cleared)},
+         {"max_violation", r.max_violation}});
+  }
+  std::printf("\nFGM/O rate-only vs health-aware planning under chaos:\n");
+  opt_table.Print();
 }
 
 }  // namespace

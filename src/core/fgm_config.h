@@ -10,6 +10,7 @@
 
 namespace fgm {
 
+class HealthMonitor;
 class MetricsRegistry;
 class SpanSink;
 class TimeSeries;
@@ -110,6 +111,20 @@ struct FgmConfig {
   /// message (charged and, on serializing paths, actually encoded). Off
   /// by default so default traffic stays bit-identical.
   bool span_wire = false;
+
+  /// Live run-health monitor (obs/health.h): EWMA estimators over the
+  /// round-boundary snapshot stream plus the alert-rule engine. Fed at
+  /// round boundaries and fault transitions only — never on the record
+  /// path. Non-owning; nullptr (the default) disables every hook.
+  HealthMonitor* health = nullptr;
+
+  /// Health-aware plan selection: once the monitor's rate EWMAs have
+  /// warmed up, FGM/O plans from them instead of the last-round-only
+  /// estimates, charges lossy/slow/down sites their expected shipping
+  /// cost (HealthView), and raises the rebalance profitability bar by the
+  /// fleet-mean cost factor. Requires `health`; off by default so the
+  /// plans (and traffic) stay bit-identical to the seed optimizer.
+  bool health_planning = false;
 };
 
 }  // namespace fgm

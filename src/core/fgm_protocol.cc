@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/timeseries.h"
@@ -58,6 +59,8 @@ FgmProtocol::FgmProtocol(const ContinuousQuery* query, int num_sites,
   trace_ = config_.trace;
   timeseries_ = config_.timeseries;
   spans_ = config_.spans;
+  health_ = config_.health;
+  if (health_ != nullptr && trace_ != nullptr) health_->set_trace(trace_);
   if (trace_ != nullptr) transport_->set_trace(trace_);
   if (spans_ != nullptr) transport_->set_spans(spans_);
   if (config_.span_wire) transport_->set_span_wire(true);
@@ -257,10 +260,15 @@ void FgmProtocol::StartRound() {
   // evaluator built against the OUTGOING round's safe function, and only
   // rebuilds it at resync. Keep retired safe functions alive until a
   // round starts with every site up (when no evaluator can reference
-  // them any longer).
+  // them any longer). The cheap bound needs the same treatment: a site
+  // that crashed on a d = 0 plan evaluates the outgoing round's b(x)
+  // until its resync rebuilds φ.
   if (sim_ != nullptr && safe_fn_ != nullptr) {
     if (live_k_ < sites_k_) {
       retired_safe_fns_.push_back(std::move(safe_fn_));
+      if (cheap_fn_ != nullptr) {
+        retired_safe_fns_.push_back(std::move(cheap_fn_));
+      }
     } else {
       retired_safe_fns_.clear();
     }
@@ -292,14 +300,53 @@ void FgmProtocol::StartRound() {
     const double k = static_cast<double>(sites_k_);
     const double overhead =
         (3.0 * k + 1.0) * std::log2(1.0 / config_.eps_psi) + 4.0 * k;
+    // Health-aware planning: once the monitor's EWMAs have warmed up,
+    // plan from the smoothed per-site rates (a one-round spike no longer
+    // flips the plan) and charge each site its expected shipping cost
+    // over its live link quality.
+    const bool health_rates = config_.health_planning && health_ != nullptr &&
+                              health_->have_rates();
+    HealthView health_view;
+    const HealthView* view = nullptr;
+    if (health_rates) {
+      scratch_rates_.assign(static_cast<size_t>(sites_k_), SiteRates{});
+      double gamma_sum = 0.0;
+      for (int i = 0; i < sites_k_; ++i) {
+        if (health_->rate_rounds(i) > 0) gamma_sum += health_->rate_gamma(i);
+      }
+      for (int i = 0; i < sites_k_; ++i) {
+        SiteRates& r = scratch_rates_[static_cast<size_t>(i)];
+        if (health_->rate_rounds(i) == 0) {
+          r.active = false;  // never reported: excluded, forced d = 0
+          continue;
+        }
+        r.alpha = health_->rate_alpha(i);
+        r.beta = health_->rate_beta(i);
+        // The EWMA gammas need not sum to 1 (sites observe different
+        // round subsets); renormalize so the γ_i·τ downstream term keeps
+        // its share-of-stream meaning.
+        r.gamma = gamma_sum > 0.0 ? health_->rate_gamma(i) / gamma_sum : 0.0;
+        if (r.alpha <= 0.0) r.alpha = 1e-12;
+        if (r.beta < r.alpha) r.beta = r.alpha;
+        r.active = r.beta > 0.0;
+      }
+      health_view.ship_cost.resize(static_cast<size_t>(sites_k_));
+      for (int i = 0; i < sites_k_; ++i) {
+        health_view.ship_cost[static_cast<size_t>(i)] =
+            health_->ShipCostFactor(i);
+      }
+      view = &health_view;
+    }
     const std::vector<SiteRates>& rates =
-        (config_.optimizer_second_order && have_older_rates_)
-            ? (scratch_rates_ =
-                   ExtrapolateRates(older_rates_, prev_rates_))
-            : prev_rates_;
+        health_rates
+            ? scratch_rates_
+            : ((config_.optimizer_second_order && have_older_rates_)
+                   ? (scratch_rates_ =
+                          ExtrapolateRates(older_rates_, prev_rates_))
+                   : prev_rates_);
     rates_used = &rates;
     const RoundPlan round_plan = OptimizeRoundPlan(
-        rates, static_cast<int64_t>(query_->dimension()), overhead);
+        rates, static_cast<int64_t>(query_->dimension()), overhead, view);
     plan_ = round_plan.full_function;
     plan_predicted_ = true;
     plan_pred_len_ = round_plan.predicted_length;
@@ -392,7 +439,7 @@ void FgmProtocol::StartRound() {
 
 void FgmProtocol::EmitRoundObservability() {
   if (trace_ == nullptr && timeseries_ == nullptr &&
-      plan_gain_abs_err_ == nullptr) {
+      plan_gain_abs_err_ == nullptr && health_ == nullptr) {
     return;
   }
   const TrafficStats& t = transport_->stats();
@@ -418,7 +465,7 @@ void FgmProtocol::EmitRoundObservability() {
     plan_gain_rel_err_->Add(err /
                             std::max(std::fabs(actual_gain), 1.0));
   }
-  if (timeseries_ != nullptr) {
+  if (timeseries_ != nullptr || health_ != nullptr) {
     static_assert(kSnapshotMsgKinds == static_cast<int>(MsgKind::kKindCount),
                   "RunSnapshot's kind slots must cover every MsgKind");
     RunSnapshot s;
@@ -463,7 +510,39 @@ void FgmProtocol::EmitRoundObservability() {
       s.dropped_words = n.dropped_words;
       s.resyncs = n.resyncs;
     }
-    timeseries_->Record(s);
+    if (timeseries_ != nullptr) timeseries_->Record(s);
+    if (health_ != nullptr) {
+      // This runs before ++rounds_ / membership / φ rebuild, so live_k_
+      // and phi_zero_ still describe the finished round — exactly the
+      // values its stop level was computed from.
+      health_->ObserveRound(s);
+      for (int i = 0; i < sites_k_; ++i) {
+        health_->ObserveSite(i, sites_[static_cast<size_t>(i)].updates_in_round(),
+                             round_drift_[static_cast<size_t>(i)].Norm());
+      }
+      if (sim_ != nullptr) {
+        const std::vector<sim::SiteNetStats>& per_site = sim_->site_stats();
+        for (int i = 0; i < sites_k_; ++i) {
+          const sim::SiteNetStats& n = per_site[static_cast<size_t>(i)];
+          SiteNetSample sample;
+          sample.delivered_msgs = n.delivered_msgs;
+          sample.delivered_words = n.delivered_words;
+          sample.dropped_msgs = n.dropped_msgs;
+          sample.dropped_words = n.dropped_words;
+          sample.retransmitted_msgs = n.retransmitted_msgs;
+          sample.retransmitted_words = n.retransmitted_words;
+          sample.latency_ticks = n.latency_ticks;
+          sample.latency_samples = n.latency_samples;
+          sample.downs = n.downs;
+          health_->ObserveNet(i, sample);
+        }
+      }
+      health_->ObservePsiMargin(
+          last_psi_,
+          config_.eps_psi * static_cast<double>(live_k_) * phi_zero_);
+      health_->ObserveOverflowRounds(overflow_rounds_);
+      health_->EvaluateAlerts(rounds_, sim_ != nullptr ? sim_->now() : 0);
+    }
   }
 }
 
@@ -667,8 +746,15 @@ void FgmProtocol::TryRebalance() {
                       ? static_cast<double>(query_->dimension())
                       : CheapBoundFunction::kShippingWords;
   }
-  if (plan_words / static_cast<double>(live_k_) <
-      config_.rebalance_min_words_per_site) {
+  // Under health-aware planning the profitability bar rises with the
+  // fleet-mean shipping cost: a rebalance whose flush + λ traffic must
+  // cross lossy/slow/down links has to save proportionally more re-ship
+  // words to pay for itself.
+  double min_words_per_site = config_.rebalance_min_words_per_site;
+  if (config_.health_planning && health_ != nullptr) {
+    min_words_per_site *= health_->RebalanceCostFactor();
+  }
+  if (plan_words / static_cast<double>(live_k_) < min_words_per_site) {
     EndRound(/*already_flushed=*/false);
     return;
   }
@@ -744,6 +830,12 @@ void FgmProtocol::EndRound(bool already_flushed) {
       prev_rates_ =
           EstimateSiteRates(phi_zero_, phi_end, drift_norm, site_updates);
       have_rates_ = true;
+      if (health_ != nullptr) {
+        for (int i = 0; i < sites_k_; ++i) {
+          const SiteRates& r = prev_rates_[static_cast<size_t>(i)];
+          if (r.active) health_->ObserveRates(i, r.alpha, r.beta, r.gamma);
+        }
+      }
     }
   }
 
@@ -805,6 +897,9 @@ void FgmProtocol::HandleFault(const sim::FaultNotice& fault) {
   if (!fault.up) {
     site_ok_[s] = 0;
     down_since_[s] = sim_->now();
+    if (health_ != nullptr) {
+      health_->NoteSiteDown(fault.site, rounds_, sim_->now());
+    }
     // A down round member pauses subround progress (polls would FGM_CHECK
     // addressing a dead link); counters from live members keep
     // accumulating and the subround resumes at resync.
@@ -812,6 +907,9 @@ void FgmProtocol::HandleFault(const sim::FaultNotice& fault) {
     return;
   }
   site_ok_[s] = 1;
+  if (health_ != nullptr) {
+    health_->NoteSiteUp(fault.site, rounds_, sim_->now());
+  }
   if (in_round_[s] != 0) {
     ResyncSite(fault.site);
     if (!AnyInRoundSiteDown()) {

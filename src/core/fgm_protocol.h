@@ -224,6 +224,7 @@ class FgmProtocol : public MonitoringProtocol, public ShardedProtocol {
   TraceSink* trace_ = nullptr;
   TimeSeries* timeseries_ = nullptr;
   SpanSink* spans_ = nullptr;
+  HealthMonitor* health_ = nullptr;
   int64_t round_span_ = 0;     ///< open kRound span id (0 = none)
   int64_t subround_span_ = 0;  ///< open kSubround span id (0 = none)
   WallTimer* sketch_timer_ = nullptr;

@@ -16,13 +16,26 @@ constexpr double kTinyRate = 1e-12;
 }  // namespace
 
 RoundPlan OptimizeRoundPlan(const std::vector<SiteRates>& rates,
-                            int64_t dimension, double round_overhead_words) {
+                            int64_t dimension, double round_overhead_words,
+                            const HealthView* health) {
   const int k = static_cast<int>(rates.size());
   FGM_CHECK_GE(k, 1);
   const double big_d = static_cast<double>(dimension);
 
-  // Active sites sorted by θ_i = β_i - α_i, descending: the best n-plan
-  // gives the full function to the n largest-θ sites.
+  // Per-site shipping cost factors (1 without a health view). Dividing by
+  // an exact 1.0 and multiplying by it leave doubles unchanged, so the
+  // no-health path is bit-identical to the original cost model.
+  std::vector<double> cost(static_cast<size_t>(k), 1.0);
+  if (health != nullptr) {
+    for (size_t i = 0; i < health->ship_cost.size() && i < cost.size();
+         ++i) {
+      cost[i] = std::max(1.0, health->ship_cost[i]);
+    }
+  }
+
+  // Active sites sorted by θ_i = β_i - α_i per unit shipping cost,
+  // descending: the best n-plan gives the full function to the n sites
+  // where a D-word shipment buys the most round extension.
   std::vector<int> order;
   double beta_tot = 0.0;
   for (int i = 0; i < k; ++i) {
@@ -34,14 +47,18 @@ RoundPlan OptimizeRoundPlan(const std::vector<SiteRates>& rates,
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     const auto& ra = rates[static_cast<size_t>(a)];
     const auto& rb = rates[static_cast<size_t>(b)];
-    return (ra.beta - ra.alpha) > (rb.beta - rb.alpha);
+    return (ra.beta - ra.alpha) / cost[static_cast<size_t>(a)] >
+           (rb.beta - rb.alpha) / cost[static_cast<size_t>(b)];
   });
 
   auto gain_for = [&](int n, double* tau_out) {
     double denom = beta_tot;
+    double ship = 0.0;
     for (int j = 0; j < n; ++j) {
-      const auto& r = rates[static_cast<size_t>(order[static_cast<size_t>(j)])];
+      const int site = order[static_cast<size_t>(j)];
+      const auto& r = rates[static_cast<size_t>(site)];
       denom -= r.beta - r.alpha;
+      ship += big_d * cost[static_cast<size_t>(site)];
     }
     const double tau =
         denom > kTinyRate ? static_cast<double>(k) / denom : kInfiniteRound;
@@ -51,8 +68,7 @@ RoundPlan OptimizeRoundPlan(const std::vector<SiteRates>& rates,
           std::min(rates[static_cast<size_t>(i)].gamma * tau, big_d);
     }
     *tau_out = tau;
-    return tau - downstream - big_d * static_cast<double>(n) -
-           round_overhead_words;
+    return tau - downstream - ship - round_overhead_words;
   };
 
   int best_n = 0;

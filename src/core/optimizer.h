@@ -44,12 +44,25 @@ struct RoundPlan {
   double predicted_rate = 0.0;         ///< (g(d) - C)/τ(d), the objective
 };
 
+/// Live fleet-health view of the link costs (fed by obs/health.h): a
+/// per-site multiplicative factor (≥ 1) on the D-word cost of shipping
+/// the full function — lossy links retransmit, so their shipments cost
+/// 1/(1-p)·D expected words; down/slow links are penalized further. Null
+/// pointer or empty vector ⇒ uniform cost 1, which reproduces the
+/// cost model (and the plan) of the health-blind optimizer bit-exactly.
+struct HealthView {
+  std::vector<double> ship_cost;
+};
+
 /// Computes the rate-maximizing plan. `dimension` is D (words to ship E);
 /// `round_overhead_words` is the fixed per-round cost C (0 recovers the
-/// paper's per-round gain objective up to the 1/τ normalization).
+/// paper's per-round gain objective up to the 1/τ normalization). When
+/// `health` carries per-site ship costs, candidate sites are ranked by
+/// θ_i per unit cost and each selected site is charged cost_i·D.
 RoundPlan OptimizeRoundPlan(const std::vector<SiteRates>& rates,
                             int64_t dimension,
-                            double round_overhead_words = 0.0);
+                            double round_overhead_words = 0.0,
+                            const HealthView* health = nullptr);
 
 /// Second-order rate prediction (the paper's §4.2.5 suggests higher-order
 /// models as future work): linearly extrapolates each site's α/β from the

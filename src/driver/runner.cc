@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 
 #include "baseline/central.h"
@@ -12,6 +13,7 @@
 #include "query/variance.h"
 #include "core/fgm_protocol.h"
 #include "gm/gm_protocol.h"
+#include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -21,6 +23,20 @@
 #include "util/check.h"
 
 namespace fgm {
+
+namespace {
+volatile std::sig_atomic_t g_stop_requested = 0;
+void StopSignalHandler(int) { g_stop_requested = 1; }
+}  // namespace
+
+void RequestStop() { g_stop_requested = 1; }
+bool StopRequested() { return g_stop_requested != 0; }
+void ClearStop() { g_stop_requested = 0; }
+
+void InstallSignalFlush() {
+  std::signal(SIGINT, StopSignalHandler);
+  std::signal(SIGTERM, StopSignalHandler);
+}
 
 const char* ProtocolKindName(ProtocolKind kind) {
   switch (kind) {
@@ -99,6 +115,8 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
       fgm.timeseries = config.timeseries;
       fgm.spans = config.spans;
       fgm.span_wire = config.span_wire;
+      fgm.health = config.health;
+      fgm.health_planning = config.health_planning;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgm: {
@@ -110,6 +128,8 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
       fgm.timeseries = config.timeseries;
       fgm.spans = config.spans;
       fgm.span_wire = config.span_wire;
+      fgm.health = config.health;
+      fgm.health_planning = config.health_planning;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
     case ProtocolKind::kFgmOpt: {
@@ -122,6 +142,8 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
       fgm.timeseries = config.timeseries;
       fgm.spans = config.spans;
       fgm.span_wire = config.span_wire;
+      fgm.health = config.health;
+      fgm.health_planning = config.health_planning;
       return std::make_unique<FgmProtocol>(query, config.sites, fgm);
     }
   }
@@ -233,6 +255,13 @@ RunResult Run(const RunConfig& base_config,
     own_spans = std::make_unique<SpanSink>();
     config.spans = own_spans.get();
   }
+  std::unique_ptr<HealthMonitor> own_health;
+  if (config.health == nullptr &&
+      (!config.prom_out.empty() || !config.live_out.empty() ||
+       config.health_planning)) {
+    own_health = std::make_unique<HealthMonitor>(config.sites);
+    config.health = own_health.get();
+  }
   // The run span must be open before the protocol's constructor starts
   // its first round (round spans parent to it); an event-network
   // transport rebases it onto the simulated clock during construction.
@@ -323,6 +352,45 @@ RunResult Run(const RunConfig& base_config,
     }
     config.timeseries->Record(s);
   };
+  // Live health export: an atomic Prometheus exposition rewrite plus one
+  // flushed JSONL heartbeat line every live_every records, and once more
+  // at run end — a scraper (or a tail -f) watches the run move.
+  HealthMonitor* health = config.health;
+  std::FILE* live_file = nullptr;
+  if (health != nullptr && !config.live_out.empty()) {
+    live_file = std::fopen(config.live_out.c_str(), "w");
+    FGM_CHECK(live_file != nullptr);
+  }
+  const int64_t live_every = std::max<int64_t>(config.live_every, 1);
+  const bool live =
+      health != nullptr && (!config.prom_out.empty() || live_file != nullptr);
+  auto live_emit = [&](int64_t records) {
+    const int64_t total_sub =
+        fgm_proto != nullptr ? fgm_proto->subrounds() : 0;
+    const double psi = fgm_proto != nullptr ? fgm_proto->last_psi() : 0.0;
+    health->ObserveProgress(records, protocol->rounds(), total_sub, records);
+    const int64_t words = protocol->traffic().total_words();
+    if (!config.prom_out.empty()) {
+      health->WritePrometheus(config.prom_out, records, protocol->rounds(),
+                              words, psi);
+    }
+    if (live_file != nullptr) {
+      const std::string line =
+          health->HeartbeatJson(records, protocol->rounds(), words, psi);
+      std::fwrite(line.data(), 1, line.size(), live_file);
+      std::fputc('\n', live_file);
+      std::fflush(live_file);
+    }
+  };
+
+  // Cooperative stop (signal or die_at): the loops below exit at the next
+  // record/chunk boundary and fall through to the normal end-of-run write
+  // path, so a killed run still emits its partial telemetry.
+  const int64_t die_at = config.die_at;
+  auto should_stop = [&]() {
+    return StopRequested() || (die_at > 0 && n >= die_at);
+  };
+
   const int64_t progress = config.progress_every;
   auto progress_emit = [&](int64_t records) {
     const double secs =
@@ -382,6 +450,13 @@ RunResult Run(const RunConfig& base_config,
       if (sample) {
         limit = std::min(limit, snap_every - (n % snap_every));
       }
+      if (live) {
+        limit = std::min(limit, live_every - (n % live_every));
+      }
+      if (die_at > 0) {
+        limit = std::min(limit, die_at - n);
+      }
+      if (limit <= 0) break;
       while (static_cast<int64_t>(chunk.size()) < limit) {
         const StreamRecord* rec = next_event();
         if (rec == nullptr) {
@@ -398,9 +473,14 @@ RunResult Run(const RunConfig& base_config,
         if (verify) verify_record(rec);
       }
       if (sample && n % snap_every == 0) interval_snapshot(n);
+      if (live && n % live_every == 0) {
+        health->ObserveSpeculation(n, par.wasted_records());
+        live_emit(n);
+      }
       if (progress > 0 && n / progress != chunk_start / progress) {
         progress_emit(n);
       }
+      if (should_stop()) break;
     }
     par.PublishThreadStats();
     result.threads_used = par.threads();
@@ -415,9 +495,12 @@ RunResult Run(const RunConfig& base_config,
       ++n;
       if (verify) verify_record(*rec);
       if (sample && n % snap_every == 0) interval_snapshot(n);
+      if (live && n % live_every == 0) live_emit(n);
       if (progress > 0 && n % progress == 0) progress_emit(n);
+      if (should_stop()) break;
     }
   }
+  result.stopped_early = should_stop();
 
   // Let the simulated network land every in-flight message (and the
   // protocol apply it) before totals are read; no-op on synchronous
@@ -427,6 +510,11 @@ RunResult Run(const RunConfig& base_config,
   // Every scope still open (run, trailing round/subround) closes at the
   // latest timestamp seen — a finished run exports no dangling spans.
   if (config.spans != nullptr) config.spans->CloseAll("run-end");
+
+  // Final live export with the end-of-run totals; even a run shorter than
+  // live_every leaves a complete Prometheus exposition and one heartbeat.
+  if (live) live_emit(n);
+  if (live_file != nullptr) std::fclose(live_file);
 
   result.events = n;
   result.traffic = protocol->traffic();
@@ -448,6 +536,10 @@ RunResult Run(const RunConfig& base_config,
   if (const sim::SimNetStats* ns = protocol->net_stats()) {
     result.net_enabled = true;
     result.net = *ns;
+  }
+  if (health != nullptr) {
+    result.alerts_raised = health->alerts_raised();
+    result.alerts_cleared = health->alerts_cleared();
   }
 
   const auto end = std::chrono::steady_clock::now();

@@ -16,6 +16,7 @@
 
 namespace fgm {
 
+class HealthMonitor;
 class MetricsRegistry;
 class SpanSink;
 class TimeSeries;
@@ -136,12 +137,40 @@ struct RunConfig {
   /// bit-identical with this off.
   bool span_wire = false;
 
+  /// Write live Prometheus text-exposition snapshots here (empty = off).
+  /// The file is atomically rewritten every live_every records and once
+  /// more at run end, so a scraper always sees a complete exposition.
+  /// Enables the health monitor.
+  std::string prom_out;
+
+  /// Stream JSONL health heartbeats here (empty = off): one line every
+  /// live_every records, flushed immediately, plus a final line at run
+  /// end. Enables the health monitor.
+  std::string live_out;
+
+  /// Cadence of the live exports above, in records. In parallel mode
+  /// chunks align to this boundary so heartbeats land at identical record
+  /// counts for every thread count.
+  int64_t live_every = 20000;
+
+  /// Health-aware FGM/O plan selection (FgmConfig::health_planning):
+  /// plans from the monitor's EWMA rates and link-cost view once warmed
+  /// up. Enables the health monitor. Off by default — default plans (and
+  /// traffic) stay bit-identical.
+  bool health_planning = false;
+
+  /// Stop processing after this many records (0 = run to the end) and
+  /// flush every configured output. Exercises the same partial-telemetry
+  /// path a SIGINT/SIGTERM takes, deterministically (tests).
+  int64_t die_at = 0;
+
   /// Caller-provided sinks (non-owning; take precedence over the paths
   /// above for event/metric collection).
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
   TimeSeries* timeseries = nullptr;
   SpanSink* spans = nullptr;
+  HealthMonitor* health = nullptr;
 };
 
 struct RunResult {
@@ -184,6 +213,14 @@ struct RunResult {
   // Simulated-network diagnostics (all zero on synchronous transports).
   bool net_enabled = false;
   sim::SimNetStats net;
+
+  // Health-monitor tallies (zero when the monitor is disabled).
+  int64_t alerts_raised = 0;
+  int64_t alerts_cleared = 0;
+
+  /// True when the run was cut short by RequestStop() or die_at; every
+  /// configured output was still flushed with the partial data.
+  bool stopped_early = false;
 };
 
 /// Builds the query of `config` (the projection is shared and seeded from
@@ -197,6 +234,19 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(const RunConfig& config,
 /// Runs one experiment over `trace` (already partitioned into
 /// config.sites sites).
 RunResult Run(const RunConfig& config, const std::vector<StreamRecord>& trace);
+
+/// Cooperative stop: once set, Run() leaves its record loop at the next
+/// safe boundary and flushes every configured output (trace, metrics,
+/// time series, spans, Prometheus/live heartbeat) with the partial data.
+/// Async-signal-safe; sticky until ClearStop().
+void RequestStop();
+bool StopRequested();
+void ClearStop();
+
+/// Installs SIGINT/SIGTERM handlers that call RequestStop(), so killed
+/// runs still emit their partial telemetry through the normal end-of-run
+/// write path.
+void InstallSignalFlush();
 
 }  // namespace fgm
 

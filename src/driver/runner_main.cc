@@ -112,6 +112,11 @@ int main(int argc, char** argv) {
   config.snapshot_every = flags.GetCount("snapshot_every", 0);
   config.timeseries_capacity = flags.GetCount("timeseries_cap", 4096);
   config.progress_every = flags.GetCount("progress", 0);
+  config.prom_out = flags.GetString("prom_out", "");
+  config.live_out = flags.GetString("live_out", "");
+  config.live_every = flags.GetCount("live_every", 20000);
+  config.health_planning = flags.GetBool("health_plan", false);
+  config.die_at = flags.GetCount("die_at", 0);
   config.strict_wire = flags.GetBool("strict_wire", false);
   config.net.latency = flags.GetString("net_latency", "");
   config.net.drop = flags.GetDouble("net_drop", 0.0);
@@ -136,6 +141,8 @@ int main(int argc, char** argv) {
           "[--trace_out=F] [--metrics_out=F] [--timeseries_out=F] "
           "[--spans_out=F] [--span_wire] "
           "[--snapshot_every=N] [--timeseries_cap=N] [--progress=N] "
+          "[--prom_out=F] [--live_out=F] [--live_every=N] "
+          "[--health_plan] [--die_at=N] "
           "[--strict_wire] [--net_latency=SPEC] [--net_drop=P] "
           "[--net_seed=N] [--fault_plan=PLAN] [--net_bandwidth=N] "
           "[--net_reorder=N] [--net_timeout=N] [--net_silence=N] "
@@ -147,6 +154,10 @@ int main(int argc, char** argv) {
   wc.sites = config.sites;
   wc.total_updates = updates;
   const auto trace = GenerateWorldCupTrace(wc);
+
+  // A SIGINT/SIGTERM stops the run at the next record boundary and still
+  // flushes every configured output with the partial data.
+  fgm::InstallSignalFlush();
 
   const fgm::RunResult r = fgm::Run(config, trace);
   std::printf(
@@ -181,6 +192,15 @@ int main(int argc, char** argv) {
         static_cast<long long>(r.net.max_in_flight_words),
         static_cast<long long>(r.net.final_tick));
   }
+  if (r.stopped_early) {
+    std::printf("stopped early at %lld records; partial telemetry flushed\n",
+                static_cast<long long>(r.events));
+  }
+  if (r.alerts_raised + r.alerts_cleared > 0) {
+    std::printf("health: alerts_raised=%lld alerts_cleared=%lld\n",
+                static_cast<long long>(r.alerts_raised),
+                static_cast<long long>(r.alerts_cleared));
+  }
   if (!config.trace_out.empty()) {
     std::printf("trace: %s\n", config.trace_out.c_str());
   }
@@ -192,6 +212,12 @@ int main(int argc, char** argv) {
   }
   if (!config.spans_out.empty()) {
     std::printf("spans: %s\n", config.spans_out.c_str());
+  }
+  if (!config.prom_out.empty()) {
+    std::printf("prom: %s\n", config.prom_out.c_str());
+  }
+  if (!config.live_out.empty()) {
+    std::printf("live: %s\n", config.live_out.c_str());
   }
   return 0;
 }

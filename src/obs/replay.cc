@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "obs/json.h"
 
@@ -148,6 +149,13 @@ bool ParseTraceEventJson(const std::string& line, TraceEvent* event,
     }
     case TraceEventKind::kSiteDown:
     case TraceEventKind::kSiteResync:
+      event->reason = GetLabel(obj, "reason");
+      break;
+    case TraceEventKind::kAlertRaised:
+    case TraceEventKind::kAlertCleared:
+      event->label = GetLabel(obj, "rule");
+      event->value = GetDouble(obj, "value");
+      event->theta = GetDouble(obj, "threshold");
       event->reason = GetLabel(obj, "reason");
       break;
     case TraceEventKind::kRunEnd:
@@ -504,6 +512,26 @@ class Checker {
         }
         break;
 
+      case TraceEventKind::kAlertRaised: {
+        ++report_.alerts_raised;
+        const std::string rule = e.label != nullptr ? e.label : "?";
+        if (!active_alerts_.insert({rule, e.site}).second) {
+          Fail(e.seq, "alert \"" + rule + "\" re-raised for site " +
+                          std::to_string(e.site) + " while already active");
+        }
+        break;
+      }
+
+      case TraceEventKind::kAlertCleared: {
+        ++report_.alerts_cleared;
+        const std::string rule = e.label != nullptr ? e.label : "?";
+        if (active_alerts_.erase({rule, e.site}) == 0) {
+          Fail(e.seq, "alert \"" + rule + "\" cleared for site " +
+                          std::to_string(e.site) + " without being raised");
+        }
+        break;
+      }
+
       case TraceEventKind::kRunEnd:
         report_.saw_run_end = true;
         if (e.up_words != up_words_ || e.down_words != down_words_) {
@@ -551,6 +579,8 @@ class Checker {
   bool sim_mode_ = false;        ///< any sim network event seen
   bool site_set_changed_ = false;  ///< any SiteDown/SiteResync seen
   std::set<int> down_sites_;
+  /// Currently-firing (rule, site) alert pairs; raise/clear must alternate.
+  std::set<std::pair<std::string, int>> active_alerts_;
   bool in_round_ = false;
   int64_t round_ = 0;
   int64_t last_round_ = 0;
@@ -582,6 +612,10 @@ std::string ReplayReport::Summary() const {
   if (deliveries + drops + resyncs > 0) {
     out << " deliveries=" << deliveries << " drops=" << drops
         << " resyncs=" << resyncs;
+  }
+  if (alerts_raised + alerts_cleared > 0) {
+    out << " alerts_raised=" << alerts_raised
+        << " alerts_cleared=" << alerts_cleared;
   }
   out << (saw_run_end ? "" : " (no RunEnd totals)");
   if (ok()) {

@@ -39,6 +39,11 @@
 //  * outside a down window, no unreasoned increment lands on a counter
 //    total already past k (the coordinator must have polled first).
 //
+// Health-monitor alerts (obs/health.h) pair like down windows: an
+// AlertRaised for a (rule, site) must not re-raise while active, and an
+// AlertCleared must clear an outstanding raise of the same (rule, site).
+// Alerts still active at RunEnd are legal (the condition simply persisted).
+//
 // All double comparisons are exact: the JSONL sink prints with round-trip
 // precision and the checker recomputes with the same operation order the
 // protocol used, so any mismatch is a real divergence, not rounding.
@@ -81,6 +86,8 @@ struct ReplayReport {
   int64_t deliveries = 0;     ///< sim MsgDelivered events
   int64_t drops = 0;          ///< sim MsgDropped events
   int64_t resyncs = 0;        ///< sim SiteResync events
+  int64_t alerts_raised = 0;  ///< health AlertRaised events
+  int64_t alerts_cleared = 0; ///< health AlertCleared events
   int64_t up_words = 0;
   int64_t down_words = 0;
   bool saw_run_end = false;

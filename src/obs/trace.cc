@@ -39,6 +39,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "SiteDown";
     case TraceEventKind::kSiteResync:
       return "SiteResync";
+    case TraceEventKind::kAlertRaised:
+      return "AlertRaised";
+    case TraceEventKind::kAlertCleared:
+      return "AlertCleared";
     case TraceEventKind::kRunEnd:
       return "RunEnd";
     case TraceEventKind::kKindCount:
@@ -169,6 +173,20 @@ std::string JsonlTraceSink::EventJson(const TraceEvent& e) {
       w.Field("words", e.words);
       w.Field("t", e.t);
       w.Field("reason", e.reason != nullptr ? e.reason : "?");
+      break;
+    case TraceEventKind::kAlertRaised:
+    case TraceEventKind::kAlertCleared:
+      // `rule` is the alert rule's name; `site` is -1 for run-global
+      // rules (ψ-margin, budget overflow, stuck subround). `value` is the
+      // observed metric, `threshold` the level it crossed (raise) or
+      // recovered under (clear).
+      w.Field("rule", e.label != nullptr ? e.label : "?");
+      w.Field("site", static_cast<int64_t>(e.site));
+      w.Field("round", e.round);
+      w.Field("value", e.value);
+      w.Field("threshold", e.theta);
+      w.Field("t", e.t);
+      if (e.reason != nullptr) w.Field("reason", e.reason);
       break;
     case TraceEventKind::kRunEnd:
       w.Field("events", e.count);

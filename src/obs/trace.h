@@ -41,6 +41,8 @@ enum class TraceEventKind : int {
   kMsgDropped,      ///< sim: a wire message was lost (loss or down target)
   kSiteDown,        ///< sim: a site crashed or its link went down
   kSiteResync,      ///< coordinator: crash/rejoin handshake completed
+  kAlertRaised,     ///< health monitor: an alert rule started firing
+  kAlertCleared,    ///< health monitor: a previously raised rule recovered
   kRunEnd,          ///< driver: final TrafficStats totals
   kKindCount,
 };

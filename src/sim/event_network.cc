@@ -22,7 +22,8 @@ EventNetwork::EventNetwork(int sites, const NetSimConfig& config)
     : Transport(sites),
       config_(config),
       rng_(config.seed),
-      site_up_(static_cast<size_t>(sites), 1) {
+      site_up_(static_cast<size_t>(sites), 1),
+      site_stats_(static_cast<size_t>(sites)) {
   FGM_CHECK(ParseLatencySpec(config.latency, &latency_));
   FGM_CHECK(config.drop >= 0.0 && config.drop < 1.0);
   FGM_CHECK_GE(config.bandwidth, 0);
@@ -145,13 +146,18 @@ Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
     FGM_CHECK_LT(attempt, kMaxRpcAttempts);
     Charge(site, kind, dir, wire_words);
     total_words += wire_words;
+    SiteNetStats& ss = site_stats_[static_cast<size_t>(site)];
     if (attempt > 0) {
       ++net_stats_.retransmitted_msgs;
       net_stats_.retransmitted_words += wire_words;
+      ++ss.retransmitted_msgs;
+      ss.retransmitted_words += wire_words;
     }
     if (SampleDrop()) {
       ++net_stats_.dropped_msgs;
       net_stats_.dropped_words += wire_words;
+      ++ss.dropped_msgs;
+      ss.dropped_words += wire_words;
       EmitNetEvent(TraceEventKind::kMsgDropped, site, kind, dir,
                    wire_words, now_, "loss");
       if (spans_ != nullptr) {
@@ -177,6 +183,10 @@ Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
     Advance(delay);
     ++net_stats_.delivered_msgs;
     net_stats_.delivered_words += wire_words;
+    ++ss.delivered_msgs;
+    ss.delivered_words += wire_words;
+    ss.latency_ticks += delay;
+    ++ss.latency_samples;
     EmitNetEvent(TraceEventKind::kMsgDelivered, site, kind, dir,
                  wire_words, now_, nullptr);
     if (spans_ != nullptr) {
@@ -272,6 +282,9 @@ void EventNetwork::PostCounter(int site, CounterMsg msg, int64_t round,
   if (SampleDrop()) {
     ++net_stats_.dropped_msgs;
     net_stats_.dropped_words += wire_words;
+    SiteNetStats& ss = site_stats_[static_cast<size_t>(site)];
+    ++ss.dropped_msgs;
+    ss.dropped_words += wire_words;
     EmitNetEvent(TraceEventKind::kMsgDropped, site, MsgKind::kCounter, -1,
                  wire_words, now_, "loss");
     if (spans_ != nullptr) {
@@ -321,6 +334,11 @@ bool EventNetwork::PopCounter(CounterDelivery* out) {
   net_stats_.in_flight_words -= wire_words;
   ++net_stats_.delivered_msgs;
   net_stats_.delivered_words += wire_words;
+  SiteNetStats& ss = site_stats_[static_cast<size_t>(out->site)];
+  ++ss.delivered_msgs;
+  ss.delivered_words += wire_words;
+  ss.latency_ticks += out->due - out->posted;
+  ++ss.latency_samples;
   EmitNetEvent(TraceEventKind::kMsgDelivered, out->site, MsgKind::kCounter,
                -1, wire_words, out->due, nullptr);
   if (spans_ != nullptr) {
@@ -357,6 +375,7 @@ bool EventNetwork::PopFault(FaultNotice* out) {
   out->reason = t.reason;
   if (!t.up) {
     ++net_stats_.site_downs;
+    ++site_stats_[static_cast<size_t>(t.site)].downs;
     if (trace_ != nullptr) {
       TraceEvent e;
       e.kind = TraceEventKind::kSiteDown;

@@ -70,6 +70,23 @@ struct SimNetStats {
   int64_t final_tick = 0;           ///< clock at FinishRun
 };
 
+/// Per-site attribution of the aggregate counters above. Maintained
+/// alongside SimNetStats at zero extra randomness (pure bookkeeping on
+/// the same events), so enabling consumers never perturbs a seeded run.
+/// The health monitor (obs/health.h) derives per-site drop-rate,
+/// latency and retransmission EWMAs from these cumulative counts.
+struct SiteNetStats {
+  int64_t delivered_msgs = 0;
+  int64_t delivered_words = 0;
+  int64_t dropped_msgs = 0;
+  int64_t dropped_words = 0;
+  int64_t retransmitted_msgs = 0;
+  int64_t retransmitted_words = 0;
+  int64_t latency_ticks = 0;    ///< summed post→delivery delays
+  int64_t latency_samples = 0;  ///< deliveries contributing to the above
+  int64_t downs = 0;            ///< down transitions for this site
+};
+
 /// A counter datagram handed to the protocol at its due tick.
 struct CounterDelivery {
   int site = 0;
@@ -143,6 +160,8 @@ class EventNetwork final : public Transport {
   bool null_mode() const { return null_; }
   const NetSimConfig& config() const { return config_; }
   const SimNetStats& net_stats() const { return net_stats_; }
+  /// Per-site attribution (one entry per site, cumulative).
+  const std::vector<SiteNetStats>& site_stats() const { return site_stats_; }
 
   // Protocol-side accounting surfaced with the network counters.
   void NoteTimeout() { ++net_stats_.timeouts; }
@@ -194,6 +213,7 @@ class EventNetwork final : public Transport {
       queue_;
   TraceSink* trace_ = nullptr;
   SimNetStats net_stats_;
+  std::vector<SiteNetStats> site_stats_;
 };
 
 }  // namespace sim

@@ -31,6 +31,12 @@
 // enforces parallel speedup on multi-core runners while the committed
 // baseline stays honest about the machine that produced it.
 //
+// --update inverts the gate: instead of diffing, it validates the
+// current report (parseable JSON with a "bench" name) and copies its
+// bytes over the baseline path, creating it if absent. This is the one
+// sanctioned way to refresh bench/baselines/ after an intentional
+// traffic change — the diff shows up in review as a plain file edit.
+//
 // Exit: 0 = within tolerance, 1 = regression / missing data,
 // 2 = usage or parse error.
 
@@ -213,6 +219,7 @@ int main(int argc, char** argv) {
   fgm::Flags flags(argc, argv);
   const std::string baseline_path = flags.GetString("baseline", "");
   const std::string current_path = flags.GetString("current", "");
+  const bool update = flags.GetBool("update", false);
   Gate gate;
   gate.tol = flags.GetDouble("tol", 0.02);
   gate.time_tol = flags.GetDouble("time_tol", 0.0);
@@ -247,12 +254,51 @@ int main(int argc, char** argv) {
                  "usage: bench_gate --baseline=BENCH_x.json "
                  "--current=BENCH_x.json [--tol=0.02] [--time_tol=0] "
                  "[--tol_field=name=T[,name=T...]] "
-                 "[--min_field=label.field=V[;...]] [--verbose]\n");
+                 "[--min_field=label.field=V[;...]] [--update] [--verbose]\n");
     return 2;
   }
 
   fgm::JsonNode baseline, current;
   std::string error;
+
+  if (update) {
+    // Refresh mode: validate the current report, then copy its bytes to
+    // the baseline path verbatim (no reformatting — the committed file
+    // stays byte-identical to what the bench wrote).
+    if (!ReadJsonFile(current_path, &current, &error)) {
+      std::fprintf(stderr, "bench_gate: %s: %s\n", current_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    const fgm::JsonNode* name = current.Find("bench");
+    if (name == nullptr || name->type != fgm::JsonNode::Type::kString ||
+        name->str.empty()) {
+      std::fprintf(stderr, "bench_gate: %s: missing \"bench\" name\n",
+                   current_path.c_str());
+      return 2;
+    }
+    std::ifstream in(current_path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench_gate: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    out << bytes.str();
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "bench_gate: write to %s failed\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::printf("bench_gate %s: baseline %s updated from %s (%zu bytes)\n",
+                name->str.c_str(), baseline_path.c_str(),
+                current_path.c_str(), bytes.str().size());
+    return 0;
+  }
+
   if (!ReadJsonFile(baseline_path, &baseline, &error)) {
     std::fprintf(stderr, "bench_gate: %s: %s\n", baseline_path.c_str(),
                  error.c_str());

@@ -65,7 +65,9 @@ constexpr int kKinds = static_cast<int>(fgm::MsgKind::kKindCount);
 /// v2: added the "speculation" object (parallel-runner efficiency:
 /// windows/barriers/soft_commits, committed/wasted/replayed tallies and
 /// the derived waste ratio, replayed-per-window and barrier rate).
-constexpr int64_t kReportSchemaVersion = 2;
+/// v3: added the "alerts" object (health-monitor AlertRaised/AlertCleared
+/// tallies, per-rule counts and the full event list).
+constexpr int64_t kReportSchemaVersion = 3;
 
 std::string Format(const char* fmt, ...) {
   char buf[512];
@@ -114,6 +116,17 @@ struct SiteStats {
   int64_t increments = 0;
 };
 
+/// One health-monitor alert transition (obs/health.h), as traced.
+struct AlertEvent {
+  bool raised = false;  ///< true = AlertRaised, false = AlertCleared
+  std::string rule;
+  int site = -1;  ///< -1 = run-global rule
+  int64_t round = 0;
+  double value = 0.0;
+  double threshold = 0.0;
+  std::string reason;
+};
+
 /// The whole trace, re-aggregated. rounds[0] is a pre-round bucket for
 /// messages sent before the first RoundStart (empty for FGM; CENTRAL has
 /// no rounds at all); rounds[r] is protocol round r.
@@ -133,6 +146,12 @@ struct TraceSummary {
   int64_t net_site_downs = 0;
   int64_t net_resyncs = 0;
   int64_t net_resync_words = 0;
+
+  // Health-monitor alert transitions (obs/health.h), in trace order.
+  std::vector<AlertEvent> alerts;
+  int64_t alerts_raised = 0;
+  int64_t alerts_cleared = 0;
+
   bool has_net() const {
     return net_delivered_msgs + net_dropped_msgs + net_site_downs +
                net_resyncs >
@@ -282,6 +301,24 @@ bool ReadTrace(const std::string& path, TraceSummary* out,
         out->net_resync_words += e.words;
         ++out->Round(e.round).resyncs;
         break;
+      case fgm::TraceEventKind::kAlertRaised:
+      case fgm::TraceEventKind::kAlertCleared: {
+        AlertEvent a;
+        a.raised = e.kind == fgm::TraceEventKind::kAlertRaised;
+        a.rule = e.label != nullptr ? e.label : "?";
+        a.site = e.site;
+        a.round = e.round;
+        a.value = e.value;
+        a.threshold = e.theta;
+        a.reason = e.reason != nullptr ? e.reason : "";
+        out->alerts.push_back(a);
+        if (a.raised) {
+          ++out->alerts_raised;
+        } else {
+          ++out->alerts_cleared;
+        }
+        break;
+      }
       case fgm::TraceEventKind::kRunEnd:
         out->saw_run_end = true;
         out->run_events = e.count;
@@ -733,6 +770,37 @@ void PrintNetwork(const TraceSummary& t, const fgm::JsonNode* m,
   }
 }
 
+/// Health-monitor alert log: every raise/clear transition with the
+/// measured value vs the rule threshold at the instant it fired.
+void PrintAlerts(const TraceSummary& t, int64_t max_rounds) {
+  if (t.alerts.empty()) return;
+  fgm::PrintBanner("Health alerts");
+  std::printf("raised=%lld cleared=%lld (%lld still active at run end)\n",
+              static_cast<long long>(t.alerts_raised),
+              static_cast<long long>(t.alerts_cleared),
+              static_cast<long long>(t.alerts_raised - t.alerts_cleared));
+  fgm::TablePrinter table(
+      {"event", "rule", "site", "round", "value", "threshold", "reason"});
+  const int64_t total = static_cast<int64_t>(t.alerts.size());
+  const int64_t first = std::max<int64_t>(0, total - max_rounds);
+  if (first > 0) {
+    std::printf("(showing the last %lld of %lld transitions)\n",
+                static_cast<long long>(total - first),
+                static_cast<long long>(total));
+  }
+  for (size_t i = static_cast<size_t>(first); i < t.alerts.size(); ++i) {
+    const AlertEvent& a = t.alerts[i];
+    table.AddRow({fgm::TablePrinter::Cell(a.raised ? "RAISE" : "clear"),
+                  fgm::TablePrinter::Cell(a.rule),
+                  fgm::TablePrinter::Cell(static_cast<int64_t>(a.site)),
+                  fgm::TablePrinter::Cell(a.round),
+                  fgm::TablePrinter::Cell(a.value),
+                  fgm::TablePrinter::Cell(a.threshold),
+                  fgm::TablePrinter::Cell(a.reason)});
+  }
+  table.Print();
+}
+
 int64_t MetricCounter(const fgm::JsonNode& m, const char* name) {
   const fgm::JsonNode* counters = m.Find("metrics") != nullptr
                                       ? m.Find("metrics")->Find("counters")
@@ -983,6 +1051,28 @@ void WriteJsonReport(const std::string& path, const std::string& trace_path,
     w.EndArray();
     w.EndObject();
   }
+  if (!t.alerts.empty()) {
+    w.Key("alerts");
+    w.BeginObject();
+    w.Field("raised", t.alerts_raised);
+    w.Field("cleared", t.alerts_cleared);
+    w.Field("active_at_end", t.alerts_raised - t.alerts_cleared);
+    w.Key("events");
+    w.BeginArray();
+    for (const AlertEvent& a : t.alerts) {
+      w.BeginObject();
+      w.Field("event", a.raised ? "raise" : "clear");
+      w.Field("rule", a.rule);
+      w.Field("site", static_cast<int64_t>(a.site));
+      w.Field("round", a.round);
+      w.Field("value", a.value);
+      w.Field("threshold", a.threshold);
+      if (!a.reason.empty()) w.Field("reason", a.reason);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
   if (spec != nullptr && spec->windows > 0) {
     w.Key("speculation");
     w.BeginObject();
@@ -1041,6 +1131,9 @@ int main(int argc, char** argv) {
   // speculation counters (spec_windows > 0). Guards the report's
   // speculation section against silently disappearing.
   const bool expect_spec = flags.GetBool("expect_spec", false);
+  // Fixture hook: fail unless the trace carries at least one AlertRaised
+  // event (health monitor). Guards the alert pipeline the same way.
+  const bool expect_alerts = flags.GetBool("alerts", false);
   if (trace_path.empty() && !flags.positional().empty()) {
     trace_path = flags.positional().front();
   }
@@ -1053,7 +1146,8 @@ int main(int argc, char** argv) {
                  "usage: fgm_report --trace=trace.jsonl "
                  "[--metrics=metrics.json] [--timeseries=ts.json] "
                  "[--spans=spans.json] [--json_out=report.json] "
-                 "[--max_rounds=N] [--check=true] [--expect_spec=false]\n");
+                 "[--max_rounds=N] [--check=true] [--expect_spec=false] "
+                 "[--alerts]\n");
     return 2;
   }
 
@@ -1090,6 +1184,10 @@ int main(int argc, char** argv) {
     checks.Expect(spec.windows > 0,
                   "expect_spec: metrics carry no speculation counters "
                   "(spec_windows == 0 or --metrics missing)");
+  }
+  if (expect_alerts) {
+    checks.Expect(trace.alerts_raised > 0,
+                  "alerts: trace carries no AlertRaised event");
   }
 
   int64_t round_samples = 0, interval_samples = 0;
@@ -1131,6 +1229,7 @@ int main(int argc, char** argv) {
   PrintRoundTable(trace, max_rounds);
   PrintSiteSkew(trace);
   PrintOptimizerAudit(trace, max_rounds);
+  PrintAlerts(trace, max_rounds);
   if (have_metrics) PrintSpeculation(metrics, spec);
   PrintNetwork(trace, have_metrics ? &metrics : nullptr,
                have_ts ? &ts : nullptr);

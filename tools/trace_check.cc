@@ -11,6 +11,10 @@
 // children inside their parents, and — when exactly one trace file is
 // given — the per-direction msg/datagram span word sums must equal the
 // trace's replayed up/down word totals.
+//
+// --alerts additionally requires at least one AlertRaised event across
+// the given traces (raise/clear pairing is always checked by the replay
+// itself). Used by CI fixtures that must prove the health monitor fired.
 
 #include <cstdio>
 #include <string>
@@ -23,25 +27,33 @@
 int main(int argc, char** argv) {
   fgm::Flags flags(argc, argv);
   const std::string spans_path = flags.GetString("spans", "");
+  const bool require_alerts = flags.GetBool("alerts", false);
   const std::vector<std::string>& traces = flags.positional();
-  if (!flags.Validate(
-          "trace_check TRACE.jsonl [MORE.jsonl ...] [--spans=S.json]") ||
+  if (!flags.Validate("trace_check TRACE.jsonl [MORE.jsonl ...] "
+                      "[--spans=S.json] [--alerts]") ||
       (traces.empty() && spans_path.empty())) {
-    std::fprintf(stderr,
-                 "usage: %s TRACE.jsonl [MORE.jsonl ...] [--spans=S.json]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s TRACE.jsonl [MORE.jsonl ...] [--spans=S.json] [--alerts]\n",
+        argv[0]);
     return 2;
   }
 
   bool ok = true;
   int64_t up_words = -1;
   int64_t down_words = -1;
+  int64_t alerts_raised = 0;
   for (const std::string& path : traces) {
     const fgm::ReplayReport report = fgm::CheckTraceFile(path);
     std::printf("%s: %s\n", path.c_str(), report.Summary().c_str());
     ok = ok && report.ok();
     up_words = report.up_words;
     down_words = report.down_words;
+    alerts_raised += report.alerts_raised;
+  }
+  if (require_alerts && alerts_raised == 0) {
+    std::printf("FAIL: --alerts given but no AlertRaised event found\n");
+    ok = false;
   }
 
   if (!spans_path.empty()) {
