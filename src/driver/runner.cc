@@ -13,6 +13,8 @@
 #include "query/variance.h"
 #include "core/fgm_protocol.h"
 #include "gm/gm_protocol.h"
+#include "hier/hier_protocol.h"
+#include "hier/topology.h"
 #include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -92,6 +94,36 @@ std::unique_ptr<MonitoringProtocol> MakeProtocol(
   // kAuto still honours the FGM_STRICT_WIRE environment variable.
   const TransportMode mode = config.strict_wire ? TransportMode::kSerializing
                                                 : TransportMode::kAuto;
+  if (!config.topology.empty()) {
+    hier::TreeTopology topo;
+    std::string error;
+    if (!hier::TreeTopology::Parse(config.topology, config.sites, &topo,
+                                   &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      FGM_CHECK(false);
+    }
+    if (!topo.IsFlat()) {
+      // Deep tree: aggregators run the subround protocol over their
+      // children, which only the FGM family has. GM/CENTRAL reject.
+      FGM_CHECK(config.protocol == ProtocolKind::kFgmBasic ||
+                config.protocol == ProtocolKind::kFgm ||
+                config.protocol == ProtocolKind::kFgmOpt);
+      FgmConfig fgm;
+      fgm.transport = mode;
+      fgm.net = config.net;
+      fgm.rebalance = config.protocol != ProtocolKind::kFgmBasic;
+      fgm.optimizer = config.protocol == ProtocolKind::kFgmOpt;
+      fgm.trace = config.trace;
+      fgm.metrics = config.metrics;
+      fgm.spans = config.spans;
+      fgm.span_wire = config.span_wire;
+      fgm.health = config.health;
+      fgm.health_planning = config.health_planning;
+      return std::make_unique<HierFgmProtocol>(query, topo, fgm);
+    }
+    // Depth-1 tree (fanout >= sites): exactly the flat star — fall
+    // through to the flat constructors so the run is byte-identical.
+  }
   switch (config.protocol) {
     case ProtocolKind::kCentral:
       return std::make_unique<CentralProtocol>(query, config.sites, mode,
@@ -187,7 +219,26 @@ void WriteMetricsFile(const std::string& path, const RunConfig& config,
   w.Field("parallel_windows", result.parallel_windows);
   w.Field("parallel_barriers", result.parallel_barriers);
   w.Field("replayed_records", result.replayed_records);
+  if (!result.topology.empty()) w.Field("topology", result.topology);
   w.EndObject();
+  if (!result.tier_traffic.empty()) {
+    // Tree-topology runs: per-link-tier traffic, root-side first. Tier 0
+    // repeats the headline totals above (the root link is what scales);
+    // deeper tiers show the fan-out the aggregators absorbed.
+    w.Key("tiers");
+    w.BeginArray();
+    for (size_t t = 0; t < result.tier_traffic.size(); ++t) {
+      const TrafficStats& s = result.tier_traffic[t];
+      w.BeginObject();
+      w.Field("tier", static_cast<int64_t>(t));
+      w.Field("upstream_words", s.upstream_words);
+      w.Field("downstream_words", s.downstream_words);
+      w.Field("upstream_messages", s.upstream_messages);
+      w.Field("downstream_messages", s.downstream_messages);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   if (result.net_enabled) {
     // Only simulated-network runs carry this section, so synchronous
     // summaries stay byte-identical to earlier versions.
@@ -270,13 +321,35 @@ RunResult Run(const RunConfig& base_config,
                         ProtocolKindName(config.protocol));
   }
 
+  // Tree topologies: the RunStart announces the spec and carries k = the
+  // root's fan-in (its effective site count) so the replay checker
+  // certifies the root tier with the flat invariants; flat runs (and
+  // depth-1 trees, which ARE the flat star) keep the historic schema.
+  hier::TreeTopology topo;
+  bool deep_tree = false;
+  if (!config.topology.empty()) {
+    std::string topo_error;
+    if (!hier::TreeTopology::Parse(config.topology, config.sites, &topo,
+                                   &topo_error)) {
+      std::fprintf(stderr, "%s\n", topo_error.c_str());
+      FGM_CHECK(false);
+    }
+    deep_tree = !topo.IsFlat();
+  }
+
   // RunStart precedes the protocol's own events (its constructor already
   // starts the first round).
   if (config.trace != nullptr) {
     TraceEvent e;
     e.kind = TraceEventKind::kRunStart;
     e.label = ProtocolKindName(config.protocol);
-    e.k = config.sites;
+    if (deep_tree) {
+      e.k = topo.NodesAt(1);
+      e.reason = topo.spec().c_str();
+      e.counter = topo.leaves();
+    } else {
+      e.k = config.sites;
+    }
     config.trace->Emit(e);
   }
 
@@ -322,6 +395,7 @@ RunResult Run(const RunConfig& base_config,
   // chunking below aligns to the snapshot boundary so the series is
   // bit-identical for every thread count.
   FgmProtocol* fgm_proto = dynamic_cast<FgmProtocol*>(protocol.get());
+  HierFgmProtocol* hier_proto = dynamic_cast<HierFgmProtocol*>(protocol.get());
   const int64_t snap_every = config.snapshot_every;
   const bool sample = config.timeseries != nullptr && snap_every > 0;
   auto interval_snapshot = [&](int64_t records) {
@@ -342,6 +416,12 @@ RunResult Run(const RunConfig& base_config,
       s.lambda = fgm_proto->current_lambda();
       s.subrounds = fgm_proto->subrounds_this_round();
       s.total_subrounds = fgm_proto->subrounds();
+    } else if (hier_proto != nullptr) {
+      s.psi = hier_proto->last_psi();
+      s.theta = hier_proto->last_quantum();
+      s.lambda = hier_proto->current_lambda();
+      s.subrounds = hier_proto->subrounds_this_round();
+      s.total_subrounds = hier_proto->subrounds();
     }
     if (const sim::SimNetStats* ns = protocol->net_stats()) {
       s.in_flight_words = ns->in_flight_words;
@@ -366,8 +446,13 @@ RunResult Run(const RunConfig& base_config,
       health != nullptr && (!config.prom_out.empty() || live_file != nullptr);
   auto live_emit = [&](int64_t records) {
     const int64_t total_sub =
-        fgm_proto != nullptr ? fgm_proto->subrounds() : 0;
-    const double psi = fgm_proto != nullptr ? fgm_proto->last_psi() : 0.0;
+        fgm_proto != nullptr
+            ? fgm_proto->subrounds()
+            : (hier_proto != nullptr ? hier_proto->subrounds() : 0);
+    const double psi =
+        fgm_proto != nullptr
+            ? fgm_proto->last_psi()
+            : (hier_proto != nullptr ? hier_proto->last_psi() : 0.0);
     health->ObserveProgress(records, protocol->rounds(), total_sub, records);
     const int64_t words = protocol->traffic().total_words();
     if (!config.prom_out.empty()) {
@@ -399,12 +484,13 @@ RunResult Run(const RunConfig& base_config,
             .count();
     const double rate =
         secs > 0.0 ? static_cast<double>(records) / secs : 0.0;
-    if (fgm_proto != nullptr) {
+    if (fgm_proto != nullptr || hier_proto != nullptr) {
       std::fprintf(stderr,
                    "[fgm] %lld records  %.0f rec/s  round %lld  psi %.6g\n",
                    static_cast<long long>(records), rate,
                    static_cast<long long>(protocol->rounds()),
-                   fgm_proto->last_psi());
+                   fgm_proto != nullptr ? fgm_proto->last_psi()
+                                        : hier_proto->last_psi());
     } else {
       std::fprintf(stderr, "[fgm] %lld records  %.0f rec/s  round %lld\n",
                    static_cast<long long>(records), rate,
@@ -532,6 +618,17 @@ RunResult Run(const RunConfig& base_config,
     result.rebalances = fgm->rebalances();
     result.overflow_rounds = fgm->overflow_rounds();
     result.mean_full_function_fraction = fgm->mean_full_function_fraction();
+  } else if (hier_proto != nullptr) {
+    result.subrounds = hier_proto->subrounds();
+    result.rebalances = hier_proto->rebalances();
+    result.overflow_rounds = hier_proto->overflow_rounds();
+    result.mean_full_function_fraction =
+        hier_proto->mean_full_function_fraction();
+    result.topology = hier_proto->topology().spec();
+    result.local_polls = hier_proto->local_polls();
+    for (int t = 0; t < hier_proto->tiers(); ++t) {
+      result.tier_traffic.push_back(hier_proto->tier_traffic(t));
+    }
   }
   if (const sim::SimNetStats* ns = protocol->net_stats()) {
     result.net_enabled = true;
@@ -567,11 +664,16 @@ RunResult Run(const RunConfig& base_config,
     m->GetCounter("total_words")->Add(result.traffic.total_words());
     m->GetGauge("comm_cost")->Set(result.comm_cost);
     m->GetGauge("upstream_fraction")->Set(result.upstream_fraction);
+    const CountHistogram* h = nullptr;
     if (auto* fgm = dynamic_cast<FgmProtocol*>(protocol.get())) {
-      const CountHistogram& h = fgm->subrounds_per_round();
+      h = &fgm->subrounds_per_round();
+    } else if (hier_proto != nullptr) {
+      h = &hier_proto->subrounds_per_round();
+    }
+    if (h != nullptr) {
       CountHistogram* out = m->GetHistogram("subrounds_per_round");
-      for (int64_t v = 0; v <= h.bucket_limit(); ++v) {
-        for (int64_t c = 0; c < h.CountAt(v); ++c) out->Add(v);
+      for (int64_t v = 0; v <= h->bucket_limit(); ++v) {
+        for (int64_t c = 0; c < h->CountAt(v); ++c) out->Add(v);
       }
     }
   }

@@ -46,6 +46,15 @@ struct RunConfig {
 
   int sites = 27;
 
+  /// Network topology spec (src/hier). Empty = the flat star. "tree:<f>"
+  /// or "tree:<f1>,<f2>,…" arranges the `sites` leaves under aggregator
+  /// tiers of the given fanouts; a spec whose first level already covers
+  /// every site (fanout >= sites) IS the flat star and runs the flat
+  /// protocol byte-identically. Deep trees require an FGM-family
+  /// protocol; GM/CENTRAL have no subround machinery to compose and
+  /// reject them. Fault-plan site indices address tier-1 aggregators.
+  std::string topology;
+
   // Sketch geometry (D = depth*width for Q1, 2*depth*width for Q2).
   int depth = 7;
   int width = 500;
@@ -213,6 +222,13 @@ struct RunResult {
   // Simulated-network diagnostics (all zero on synchronous transports).
   bool net_enabled = false;
   sim::SimNetStats net;
+
+  // Tree-topology diagnostics (empty/zero on flat runs). `traffic` above
+  // then covers the ROOT tier only — the scaling-relevant number; the
+  // full per-link-tier breakdown (root-side first) is here.
+  std::string topology;
+  std::vector<TrafficStats> tier_traffic;
+  int64_t local_polls = 0;  ///< aggregator-local subround polls
 
   // Health-monitor tallies (zero when the monitor is disabled).
   int64_t alerts_raised = 0;

@@ -12,6 +12,12 @@
 //       [--fault_plan="crash:site=2,at=50000,rejoin=80000"]
 //       [--net_bandwidth=0] [--net_reorder=0] [--net_timeout=64]
 //       [--net_silence=256] [--net_deadline=4096]
+//       [--topology=tree:4] [--topology=tree:8,4]
+//
+// --topology=tree:F arranges the sites under aggregator tiers of fanout
+// F (src/hier); tree:F with F >= sites IS the flat star and runs
+// byte-identically to the default. Deep trees need an FGM-family
+// protocol; fault-plan site indices then address tier-1 aggregators.
 //
 // --threads > 1 runs the sharded parallel engine (exec/); traffic,
 // traces, results and time series are bit-identical to --threads=1.
@@ -45,6 +51,7 @@
 #include <string>
 
 #include "driver/runner.h"
+#include "hier/topology.h"
 #include "stream/worldcup.h"
 #include "util/flags.h"
 
@@ -93,6 +100,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.sites = static_cast<int>(flags.GetCount("sites", 27));
+  config.topology = flags.GetString("topology", "");
   const int64_t updates = flags.GetCount("updates", 400000);
   config.epsilon = flags.GetDouble("eps", 0.1);
   config.window_seconds = flags.GetDouble("window", 14400.0);
@@ -146,8 +154,29 @@ int main(int argc, char** argv) {
           "[--strict_wire] [--net_latency=SPEC] [--net_drop=P] "
           "[--net_seed=N] [--fault_plan=PLAN] [--net_bandwidth=N] "
           "[--net_reorder=N] [--net_timeout=N] [--net_silence=N] "
-          "[--net_deadline=N]")) {
+          "[--net_deadline=N] [--topology=tree:F[,F2,…]]")) {
     return 2;
+  }
+
+  // Topology validation up front: parse errors and unsupported
+  // protocol/topology combinations die here with a one-line message
+  // instead of an FGM_CHECK deep inside the run.
+  if (!config.topology.empty()) {
+    fgm::hier::TreeTopology topo;
+    std::string error;
+    if (!fgm::hier::TreeTopology::Parse(config.topology, config.sites, &topo,
+                                        &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    if (!topo.IsFlat() && (config.protocol == fgm::ProtocolKind::kCentral ||
+                           config.protocol == fgm::ProtocolKind::kGm)) {
+      std::fprintf(stderr,
+                   "--topology=%s: %s has no subround protocol to run at "
+                   "aggregators; deep trees need an FGM-family protocol\n",
+                   config.topology.c_str(), protocol.c_str());
+      return 2;
+    }
   }
 
   fgm::WorldCupConfig wc;
@@ -191,6 +220,21 @@ int main(int argc, char** argv) {
         static_cast<long long>(r.net.site_downs),
         static_cast<long long>(r.net.max_in_flight_words),
         static_cast<long long>(r.net.final_tick));
+  }
+  if (!r.topology.empty()) {
+    std::printf("tree: %s tiers=%zu root_words=%lld local_polls=%lld\n",
+                r.topology.c_str(), r.tier_traffic.size(),
+                static_cast<long long>(r.traffic.total_words()),
+                static_cast<long long>(r.local_polls));
+    for (size_t t = 0; t < r.tier_traffic.size(); ++t) {
+      const fgm::TrafficStats& s = r.tier_traffic[t];
+      std::printf("  tier %zu: up_words=%lld down_words=%lld up_msgs=%lld "
+                  "down_msgs=%lld\n",
+                  t, static_cast<long long>(s.upstream_words),
+                  static_cast<long long>(s.downstream_words),
+                  static_cast<long long>(s.upstream_messages),
+                  static_cast<long long>(s.downstream_messages));
+    }
   }
   if (r.stopped_early) {
     std::printf("stopped early at %lld records; partial telemetry flushed\n",

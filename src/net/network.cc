@@ -41,6 +41,7 @@ void SimNetwork::EmitMsg(int site, MsgKind kind, int64_t words, int dir) {
   e.label = MsgKindName(kind);
   e.dir = dir;
   e.words = words;
+  e.tier = tier_;
   trace_->Emit(e);
 }
 
@@ -54,6 +55,7 @@ void SimNetwork::EmitSpan(int site, MsgKind kind, int64_t words, int dir) {
   s.words = words;
   s.count = 1;
   s.dir = dir;
+  s.tier = tier_;
   s.label = MsgKindName(kind);
   spans_->EmitComplete(s);
 }

@@ -45,6 +45,10 @@ class Transport {
 
   int sites() const { return network_.sites(); }
   const TrafficStats& stats() const { return network_.stats(); }
+  /// The traffic-accounting star under this transport. Exposed so tree
+  /// topologies (src/hier) can stamp each per-tier transport with its
+  /// tier (SimNetwork::set_tier) before wiring sinks.
+  SimNetwork& network() { return network_; }
   virtual const char* name() const = 0;
 
   /// Forwards per-message kMsgSent events to `trace` (nullptr disables).

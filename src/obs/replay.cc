@@ -91,9 +91,14 @@ bool ParseTraceEventJson(const std::string& line, TraceEvent* event,
   event->up_msgs = GetInt(obj, "up_msgs");
   event->down_msgs = GetInt(obj, "down_msgs");
   event->t = GetInt(obj, "t");
+  event->tier = static_cast<int>(GetInt(obj, "tier"));
   switch (event->kind) {
     case TraceEventKind::kRunStart:
       event->label = GetLabel(obj, "protocol");
+      // Tree runs announce their spec; `k` is then the root fan-in and
+      // `leaves` the true site count (flat runs omit both).
+      event->reason = GetLabel(obj, "topology");
+      event->counter = GetInt(obj, "leaves");
       break;
     case TraceEventKind::kRoundStart:
       event->value = GetDouble(obj, "phi0");
@@ -214,13 +219,91 @@ class Checker {
 
   bool fgm_round() const { return in_round_ && eps_ > 0.0; }
 
+  /// Aggregator-tier events of a tree-topology run. They live outside the
+  /// root star's protocol state machine, so they bypass every flat
+  /// invariant (round ledger, up/down word totals, subround pairing) and
+  /// feed a per-tier ledger instead, closed bit-exactly by kTierEnd.
+  void CheckTier(const TraceEvent& e) {
+    TierTally& tally = tiers_[e.tier];
+    switch (e.kind) {
+      case TraceEventKind::kMsgSent:
+        if (e.words < 1) Fail(e.seq, "wire message below 1 word");
+        if (e.dir > 0) {
+          tally.up_words += e.words;
+          ++tally.up_msgs;
+        } else {
+          tally.down_words += e.words;
+          ++tally.down_msgs;
+        }
+        break;
+
+      case TraceEventKind::kSubroundEnd:
+        // An aggregator's local poll: unreasoned polls fire only once the
+        // local counter passed the node's fan-in (carried in `k`);
+        // cascade re-baselines carry reason "rebaseline".
+        ++tally.local_polls;
+        if (e.counter < 0) Fail(e.seq, "negative aggregator counter");
+        if (e.reason == nullptr && e.counter <= e.k) {
+          Fail(e.seq, "tier " + std::to_string(e.tier) +
+                          " local poll before the counter exceeded the "
+                          "fan-in");
+        }
+        break;
+
+      case TraceEventKind::kDriftFlush:
+        ++tally.flushes;
+        if (e.words < 1) Fail(e.seq, "drift flush below 1 word");
+        if (e.count < 0) Fail(e.seq, "negative flush update count");
+        break;
+
+      case TraceEventKind::kTierEnd:
+        ++report_.tier_ends;
+        if (tally.tier_end) {
+          Fail(e.seq, "duplicate TierEnd for tier " + std::to_string(e.tier));
+        }
+        tally.tier_end = true;
+        // Close the tier's word ledger exactly, like RunEnd closes the
+        // root's.
+        if (e.up_words != tally.up_words ||
+            e.down_words != tally.down_words) {
+          Fail(e.seq, "tier " + std::to_string(e.tier) +
+                          " summed MsgSent words (" +
+                          std::to_string(tally.up_words) + " up, " +
+                          std::to_string(tally.down_words) +
+                          " down) != TierEnd totals (" +
+                          std::to_string(e.up_words) + " up, " +
+                          std::to_string(e.down_words) + " down)");
+        }
+        if (e.up_msgs != tally.up_msgs || e.down_msgs != tally.down_msgs) {
+          Fail(e.seq, "tier " + std::to_string(e.tier) +
+                          " MsgSent message counts != TierEnd totals");
+        }
+        if (e.k < 1) Fail(e.seq, "TierEnd with no endpoints");
+        break;
+
+      default:
+        Fail(e.seq, std::string("unexpected tier-stamped event kind \"") +
+                        TraceEventKindName(e.kind) + "\"");
+        break;
+    }
+  }
+
   void Check(const TraceEvent& e) {
+    if (e.tier != 0) {
+      if (e.tier < 0) {
+        Fail(e.seq, "negative tier stamp");
+        return;
+      }
+      CheckTier(e);
+      return;
+    }
     switch (e.kind) {
       case TraceEventKind::kRunStart:
         if (e.k >= 1) {
           k_ = e.k;
           run_k_ = e.k;
         }
+        hier_mode_ = e.reason != nullptr;
         break;
 
       case TraceEventKind::kRoundStart: {
@@ -532,8 +615,47 @@ class Checker {
         break;
       }
 
+      case TraceEventKind::kTierEnd:
+        Fail(e.seq, "TierEnd without a tier stamp");
+        break;
+
       case TraceEventKind::kRunEnd:
         report_.saw_run_end = true;
+        // Tree runs: every aggregator tier that carried traffic must have
+        // closed its ledger, and flush fan-out must widen towards the
+        // leaves — each root-tier flush collection pulls at least as many
+        // flush messages across every deeper tier (word conservation
+        // across tiers: drift only reaches the root through a complete
+        // chain of per-tier flushes).
+        {
+          int64_t prev_flushes = report_.flushes;
+          int prev_tier = 0;
+          for (const auto& entry : tiers_) {
+            const TierTally& tally = entry.second;
+            if (!tally.tier_end &&
+                tally.up_words + tally.down_words > 0) {
+              Fail(e.seq, "tier " + std::to_string(entry.first) +
+                              " carried traffic but never emitted TierEnd");
+            }
+            if (entry.first == prev_tier + 1 &&
+                tally.flushes < prev_flushes) {
+              Fail(e.seq, "tier " + std::to_string(entry.first) + " saw " +
+                              std::to_string(tally.flushes) +
+                              " drift flushes, fewer than tier " +
+                              std::to_string(prev_tier) + "'s " +
+                              std::to_string(prev_flushes));
+            }
+            prev_flushes = tally.flushes;
+            prev_tier = entry.first;
+            report_.tier_words += tally.up_words + tally.down_words;
+            report_.tier_up_words += tally.up_words;
+            report_.tier_down_words += tally.down_words;
+          }
+          if (!tiers_.empty() && !hier_mode_) {
+            Fail(e.seq, "tier-stamped events in a run whose RunStart "
+                        "announced no topology");
+          }
+        }
         if (e.up_words != up_words_ || e.down_words != down_words_) {
           Fail(e.seq,
                "summed MsgSent words (" + std::to_string(up_words_) + " up, " +
@@ -573,9 +695,21 @@ class Checker {
     }
   }
 
+  /// Per-tier ledger of a tree-topology run, keyed by tier (1 = the tier
+  /// just below the root).
+  struct TierTally {
+    int64_t up_words = 0, down_words = 0;
+    int64_t up_msgs = 0, down_msgs = 0;
+    int64_t flushes = 0;
+    int64_t local_polls = 0;
+    bool tier_end = false;
+  };
+
   ReplayReport report_;
   int k_ = 0;
   int run_k_ = 0;  ///< site count announced at RunStart (never shrinks)
+  bool hier_mode_ = false;  ///< RunStart announced a tree topology
+  std::map<int, TierTally> tiers_;
   bool sim_mode_ = false;        ///< any sim network event seen
   bool site_set_changed_ = false;  ///< any SiteDown/SiteResync seen
   std::set<int> down_sites_;
@@ -616,6 +750,9 @@ std::string ReplayReport::Summary() const {
   if (alerts_raised + alerts_cleared > 0) {
     out << " alerts_raised=" << alerts_raised
         << " alerts_cleared=" << alerts_cleared;
+  }
+  if (tier_ends > 0) {
+    out << " tiers=" << tier_ends << " tier_words=" << tier_words;
   }
   out << (saw_run_end ? "" : " (no RunEnd totals)");
   if (ok()) {

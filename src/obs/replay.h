@@ -39,6 +39,16 @@
 //  * outside a down window, no unreasoned increment lands on a counter
 //    total already past k (the coordinator must have polled first).
 //
+// Tree-topology runs (src/hier) stamp aggregator-tier events with
+// "tier" >= 1. Those live outside the root star's state machine: the
+// checker keeps a separate per-tier ledger (words/messages by direction,
+// drift flushes, local polls) closed bit-exactly by each TierEnd event,
+// requires unreasoned aggregator polls to carry a local counter above the
+// node's fan-in, and at RunEnd checks that flush fan-out widens towards
+// the leaves — drift words only reach the root through a complete chain
+// of per-tier flushes. The root tier itself is certified verbatim by the
+// flat invariants with k = the root's fan-in.
+//
 // Health-monitor alerts (obs/health.h) pair like down windows: an
 // AlertRaised for a (rule, site) must not re-raise while active, and an
 // AlertCleared must clear an outstanding raise of the same (rule, site).
@@ -88,6 +98,10 @@ struct ReplayReport {
   int64_t resyncs = 0;        ///< sim SiteResync events
   int64_t alerts_raised = 0;  ///< health AlertRaised events
   int64_t alerts_cleared = 0; ///< health AlertCleared events
+  int64_t tier_ends = 0;      ///< hier TierEnd ledgers (tree runs only)
+  int64_t tier_words = 0;     ///< total words on aggregator-tier links
+  int64_t tier_up_words = 0;    ///< upstream share of tier_words
+  int64_t tier_down_words = 0;  ///< downstream share of tier_words
   int64_t up_words = 0;
   int64_t down_words = 0;
   bool saw_run_end = false;

@@ -110,6 +110,12 @@ void SpanSink::EndWithStats(int64_t id, const char* reason, int64_t words,
   EndUnlocked(id, reason);
 }
 
+void SpanSink::SetTier(int64_t id, int tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FGM_CHECK(id >= 1 && id <= static_cast<int64_t>(spans_.size()));
+  spans_[static_cast<size_t>(id - 1)].tier = tier;
+}
+
 void SpanSink::EndUnlocked(int64_t id, const char* reason) {
   FGM_CHECK(id >= 1 && id <= static_cast<int64_t>(spans_.size()));
   const size_t idx = static_cast<size_t>(id - 1);
@@ -213,6 +219,7 @@ std::string SpanSink::ChromeTraceJson() const {
     w.Field("queue", s.queue);
     w.Field("transit", s.transit);
     w.Field("drain", s.drain);
+    if (s.tier != 0) w.Field("tier", static_cast<int64_t>(s.tier));
     if (s.label != nullptr) w.Field("label", s.label);
     if (s.reason != nullptr) w.Field("reason", s.reason);
     w.EndObject();
@@ -298,6 +305,7 @@ bool ParseSpanJson(const std::string& text, std::vector<ParsedSpan>* out,
     s.queue = ArgInt(*args, "queue");
     s.transit = ArgInt(*args, "transit");
     s.drain = ArgInt(*args, "drain");
+    s.tier = static_cast<int>(ArgInt(*args, "tier"));
     s.label = ArgStr(*args, "label");
     s.reason = ArgStr(*args, "reason");
     out->push_back(std::move(s));

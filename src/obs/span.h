@@ -70,6 +70,10 @@ struct Span {
   int64_t queue = 0;   ///< ticks queued before transit (reorder jitter)
   int64_t transit = 0; ///< ticks on the wire (latency + transfer)
   int64_t drain = 0;   ///< ticks between arrival and the protocol drain
+  /// Tree topologies (src/hier): the tier whose machinery this span
+  /// belongs to. 0 = the root star (flat runs never set it; not
+  /// exported), t ≥ 1 = a tier-t aggregator's local protocol.
+  int tier = 0;
   const char* label = nullptr;   ///< static string: msg kind, phase name
   const char* reason = nullptr;  ///< static string: loss / forced close
 };
@@ -103,6 +107,10 @@ class SpanSink {
   /// attempt count and total charged words across its retransmit chain.
   void EndWithStats(int64_t id, const char* reason, int64_t words,
                     int64_t count);
+
+  /// Stamps the tree tier (src/hier) an open or closed span belongs to.
+  /// Flat runs never call this; tier 0 is not exported.
+  void SetTier(int64_t id, int tier);
 
   /// Records an already-delimited span (begin/end set by the caller; a
   /// zero `end` means instantaneous: end = begin). Span::kAutoParent
@@ -169,6 +177,7 @@ struct ParsedSpan {
   int64_t queue = 0;
   int64_t transit = 0;
   int64_t drain = 0;
+  int tier = 0;  ///< tree tier (src/hier); 0 = root star / flat run
   std::string label;
   std::string reason;
   bool closed = true;  ///< "ph":"X"; false for a leaked "ph":"B"

@@ -43,6 +43,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "AlertRaised";
     case TraceEventKind::kAlertCleared:
       return "AlertCleared";
+    case TraceEventKind::kTierEnd:
+      return "TierEnd";
     case TraceEventKind::kRunEnd:
       return "RunEnd";
     case TraceEventKind::kKindCount:
@@ -69,6 +71,14 @@ std::string JsonlTraceSink::EventJson(const TraceEvent& e) {
     case TraceEventKind::kRunStart:
       w.Field("protocol", e.label != nullptr ? e.label : "?");
       w.Field("k", static_cast<int64_t>(e.k));
+      // Tree runs announce their topology spec ("tree:4", ...) and carry
+      // k = the root's fan-in (its effective site count); the true leaf
+      // count rides in `counter`. Flat runs leave `reason` null and stay
+      // byte-identical to the historic schema.
+      if (e.reason != nullptr) {
+        w.Field("topology", e.reason);
+        w.Field("leaves", e.counter);
+      }
       break;
     case TraceEventKind::kRoundStart:
       w.Field("round", e.round);
@@ -91,6 +101,12 @@ std::string JsonlTraceSink::EventJson(const TraceEvent& e) {
       // Only forced polls (resync recovery) carry a reason; ordinary
       // counter-exhaustion polls keep the PR-2 schema bit-identical.
       if (e.reason != nullptr) w.Field("reason", e.reason);
+      // Aggregator-local polls (tree topologies) name the polling node
+      // and its fan-in; root-tier polls never set these.
+      if (e.tier != 0) {
+        w.Field("site", static_cast<int64_t>(e.site));
+        w.Field("k", static_cast<int64_t>(e.k));
+      }
       break;
     case TraceEventKind::kIncrementMsg:
       w.Field("round", e.round);
@@ -188,6 +204,17 @@ std::string JsonlTraceSink::EventJson(const TraceEvent& e) {
       w.Field("t", e.t);
       if (e.reason != nullptr) w.Field("reason", e.reason);
       break;
+    case TraceEventKind::kTierEnd:
+      // Per-tier traffic ledger of a tree-topology run (src/hier): the
+      // words/messages that crossed the links between tier-`tier` nodes
+      // and their children, plus that tier's endpoint count in `k`.
+      // Emitted once per tier before RunEnd; never on flat runs.
+      w.Field("k", static_cast<int64_t>(e.k));
+      w.Field("up_words", e.up_words);
+      w.Field("down_words", e.down_words);
+      w.Field("up_msgs", e.up_msgs);
+      w.Field("down_msgs", e.down_msgs);
+      break;
     case TraceEventKind::kRunEnd:
       w.Field("events", e.count);
       w.Field("up_words", e.up_words);
@@ -198,6 +225,9 @@ std::string JsonlTraceSink::EventJson(const TraceEvent& e) {
     case TraceEventKind::kKindCount:
       break;
   }
+  // Tier stamp for tree topologies. Flat runs never set it, so every
+  // pre-existing schema line stays byte-identical.
+  if (e.tier != 0) w.Field("tier", static_cast<int64_t>(e.tier));
   w.EndObject();
   return w.Take();
 }

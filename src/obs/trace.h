@@ -43,6 +43,7 @@ enum class TraceEventKind : int {
   kSiteResync,      ///< coordinator: crash/rejoin handshake completed
   kAlertRaised,     ///< health monitor: an alert rule started firing
   kAlertCleared,    ///< health monitor: a previously raised rule recovered
+  kTierEnd,         ///< hier: per-tier traffic totals (before RunEnd)
   kRunEnd,          ///< driver: final TrafficStats totals
   kKindCount,
 };
@@ -79,6 +80,12 @@ struct TraceEvent {
   double pred_rate = 0.0;    ///< PlanChosen: predicted gain rate (g−C)/τ
   double actual_gain = 0.0;  ///< PlanOutcome: measured gain for the round
   int64_t t = 0;             ///< sim tick (delivery/drop/fault events)
+  /// Tree topologies (src/hier): which tier's link or local subround the
+  /// event belongs to. 0 = the root star (the flat protocol's only tier;
+  /// never serialized, keeping flat traces byte-identical); tier t ≥ 1 =
+  /// the links between tier-t nodes and their children / a tier-t
+  /// aggregator's local subround machinery.
+  int tier = 0;
   const char* label = nullptr;  ///< static string: msg kind, protocol name
   const char* reason = nullptr;  ///< static string: drop cause, poll cause
 };

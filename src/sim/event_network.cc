@@ -57,11 +57,23 @@ void EventNetwork::Advance(int64_t ticks) {
   now_ += ticks;
 }
 
-void EventNetwork::Charge(int site, MsgKind kind, int dir, int64_t words) {
-  if (dir > 0) {
-    network_.Upstream(site, kind, words);
+EventNetwork::Route EventNetwork::Resolve(int from, int to) const {
+  // General (from, to) addressing with the star constraint: this network
+  // models the links between one parent (kParent) and its children, so
+  // exactly one endpoint of every message is the parent. Tree topologies
+  // (src/hier) route along tree edges by addressing each tier's links
+  // parent-relative through its own network instance.
+  FGM_CHECK((from == kParent) != (to == kParent));
+  const int child = from == kParent ? to : from;
+  FGM_CHECK(child >= 0 && child < sites());
+  return Route{child, from == kParent ? +1 : -1};
+}
+
+void EventNetwork::Charge(Route route, MsgKind kind, int64_t words) {
+  if (route.dir > 0) {
+    network_.Upstream(route.child, kind, words);
   } else {
-    network_.Downstream(site, kind, words);
+    network_.Downstream(route.child, kind, words);
   }
 }
 
@@ -91,18 +103,19 @@ int64_t EventNetwork::TransferTicks(int64_t words) const {
   return (words + config_.bandwidth - 1) / config_.bandwidth;
 }
 
-void EventNetwork::EmitNetEvent(TraceEventKind kind, int site,
-                                MsgKind msg_kind, int dir, int64_t words,
+void EventNetwork::EmitNetEvent(TraceEventKind kind, Route route,
+                                MsgKind msg_kind, int64_t words,
                                 int64_t t, const char* reason) {
   if (trace_ == nullptr || null_) return;
   TraceEvent e;
   e.kind = kind;
-  e.site = site;
+  e.site = route.child;
   e.label = MsgKindName(msg_kind);
-  e.dir = dir;
+  e.dir = route.dir;
   e.words = words;
   e.t = t;
   e.reason = reason;
+  e.tier = network_.tier();
   trace_->Emit(e);
 }
 
@@ -128,23 +141,28 @@ Msg EventNetwork::CheckedRoundTrip(const Msg& msg, int64_t charged_words,
 }
 
 template <typename Msg, typename DecodeFn>
-Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
+Msg EventNetwork::Rpc(int from, int to, MsgKind kind, const Msg& msg,
                       int64_t charged_words, DecodeFn decode) {
-  // The protocols never address a down site over the control plane; the
-  // pause/resync machinery (core/fgm_protocol.cc) guarantees it.
+  const Route route = Resolve(from, to);
+  const int site = route.child;
+  const int dir = route.dir;
+  // The protocols never address a down endpoint over the control plane;
+  // the pause/resync machinery (core/fgm_protocol.cc, src/hier)
+  // guarantees it.
   FGM_CHECK(SiteUp(site));
   int64_t rpc_span = 0;
   if (spans_ != nullptr) {
     // Opened before the round trip so the wire envelope (span_wire)
     // carries this RPC's id; one kMsg child per attempt follows.
     rpc_span = spans_->Begin(SpanKind::kRpc, site, 0, 0, MsgKindName(kind));
+    if (network_.tier() != 0) spans_->SetTier(rpc_span, network_.tier());
   }
   Msg decoded = CheckedRoundTrip(msg, charged_words, decode);
   const int64_t wire_words = charged_words + SpanWireExtra();
   int64_t total_words = 0;
   for (int attempt = 0;; ++attempt) {
     FGM_CHECK_LT(attempt, kMaxRpcAttempts);
-    Charge(site, kind, dir, wire_words);
+    Charge(route, kind, wire_words);
     total_words += wire_words;
     SiteNetStats& ss = site_stats_[static_cast<size_t>(site)];
     if (attempt > 0) {
@@ -158,7 +176,7 @@ Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
       net_stats_.dropped_words += wire_words;
       ++ss.dropped_msgs;
       ss.dropped_words += wire_words;
-      EmitNetEvent(TraceEventKind::kMsgDropped, site, kind, dir,
+      EmitNetEvent(TraceEventKind::kMsgDropped, route, kind,
                    wire_words, now_, "loss");
       if (spans_ != nullptr) {
         // The lost attempt occupies the sender until its timeout fires.
@@ -170,6 +188,7 @@ Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
         s.words = wire_words;
         s.count = 1;
         s.dir = dir;
+        s.tier = network_.tier();
         s.label = MsgKindName(kind);
         s.reason = "loss";
         spans_->EmitComplete(s);
@@ -187,7 +206,7 @@ Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
     ss.delivered_words += wire_words;
     ss.latency_ticks += delay;
     ++ss.latency_samples;
-    EmitNetEvent(TraceEventKind::kMsgDelivered, site, kind, dir,
+    EmitNetEvent(TraceEventKind::kMsgDelivered, route, kind,
                  wire_words, now_, nullptr);
     if (spans_ != nullptr) {
       Span s;
@@ -198,6 +217,7 @@ Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
       s.words = wire_words;
       s.count = 1;
       s.dir = dir;
+      s.tier = network_.tier();
       s.transit = delay;
       s.label = MsgKindName(kind);
       spans_->EmitComplete(s);
@@ -209,7 +229,7 @@ Msg EventNetwork::Rpc(int site, MsgKind kind, int dir, const Msg& msg,
 
 SafeZoneMsg EventNetwork::ShipSafeZone(int site, SafeZoneMsg msg) {
   const size_t dim = msg.reference.dim();
-  return Rpc(site, MsgKind::kSafeZone, +1, msg, msg.Words(),
+  return Rpc(kParent, site, MsgKind::kSafeZone, msg, msg.Words(),
              [dim](const WordBuffer& in) {
                return SafeZoneMsg::Decode(in, dim);
              });
@@ -217,75 +237,77 @@ SafeZoneMsg EventNetwork::ShipSafeZone(int site, SafeZoneMsg msg) {
 
 CheapZoneMsg EventNetwork::ShipCheapZone(int site, CheapZoneMsg msg) {
   // Cheap bounds are safe-zone shipments in the cost breakdown.
-  return Rpc(site, MsgKind::kSafeZone, +1, msg, CheapZoneMsg::kWords,
+  return Rpc(kParent, site, MsgKind::kSafeZone, msg, CheapZoneMsg::kWords,
              [](const WordBuffer& in) { return CheapZoneMsg::Decode(in); });
 }
 
 QuantumMsg EventNetwork::ShipQuantum(int site, QuantumMsg msg) {
-  return Rpc(site, MsgKind::kQuantum, +1, msg, QuantumMsg::kWords,
+  return Rpc(kParent, site, MsgKind::kQuantum, msg, QuantumMsg::kWords,
              [](const WordBuffer& in) { return QuantumMsg::Decode(in); });
 }
 
 LambdaMsg EventNetwork::ShipLambda(int site, LambdaMsg msg) {
-  return Rpc(site, MsgKind::kLambda, +1, msg, LambdaMsg::kWords,
+  return Rpc(kParent, site, MsgKind::kLambda, msg, LambdaMsg::kWords,
              [](const WordBuffer& in) { return LambdaMsg::Decode(in); });
 }
 
 ControlMsg EventNetwork::ShipControl(int site, ControlMsg msg) {
-  return Rpc(site, MsgKind::kControl, +1, msg, ControlMsg::kWords,
+  return Rpc(kParent, site, MsgKind::kControl, msg, ControlMsg::kWords,
              [](const WordBuffer& in) { return ControlMsg::Decode(in); });
 }
 
 ResyncMsg EventNetwork::ShipResync(int site, ResyncMsg msg) {
   const size_t dim = msg.reference.dim();
-  return Rpc(site, MsgKind::kResync, +1, msg, msg.Words(),
+  return Rpc(kParent, site, MsgKind::kResync, msg, msg.Words(),
              [dim](const WordBuffer& in) {
                return ResyncMsg::Decode(in, dim);
              });
 }
 
 ControlMsg EventNetwork::SendControl(int site, ControlMsg msg) {
-  return Rpc(site, MsgKind::kControl, -1, msg, ControlMsg::kWords,
+  return Rpc(site, kParent, MsgKind::kControl, msg, ControlMsg::kWords,
              [](const WordBuffer& in) { return ControlMsg::Decode(in); });
 }
 
 CounterMsg EventNetwork::SendCounter(int site, CounterMsg msg) {
-  return Rpc(site, MsgKind::kCounter, -1, msg, CounterMsg::kWords,
+  return Rpc(site, kParent, MsgKind::kCounter, msg, CounterMsg::kWords,
              [](const WordBuffer& in) { return CounterMsg::Decode(in); });
 }
 
 PhiValueMsg EventNetwork::SendPhiValue(int site, PhiValueMsg msg) {
-  return Rpc(site, MsgKind::kPhiValue, -1, msg, PhiValueMsg::kWords,
+  return Rpc(site, kParent, MsgKind::kPhiValue, msg, PhiValueMsg::kWords,
              [](const WordBuffer& in) { return PhiValueMsg::Decode(in); });
 }
 
 DriftFlushMsg EventNetwork::SendDriftFlush(int site, DriftFlushMsg msg) {
-  return Rpc(site, MsgKind::kDriftFlush, -1, msg, msg.Words(),
+  return Rpc(site, kParent, MsgKind::kDriftFlush, msg, msg.Words(),
              [](const WordBuffer& in) { return DriftFlushMsg::Decode(in); });
 }
 
 RawUpdateMsg EventNetwork::SendRawUpdate(int site, RawUpdateMsg msg) {
-  return Rpc(site, MsgKind::kRawUpdate, -1, msg, msg.Words(),
+  return Rpc(site, kParent, MsgKind::kRawUpdate, msg, msg.Words(),
              [](const WordBuffer& in) {
                return RawUpdateMsg::Decode(in, 0);
              });
 }
 
-void EventNetwork::PostCounter(int site, CounterMsg msg, int64_t round,
+void EventNetwork::PostCounter(int from, int to, CounterMsg msg, int64_t round,
                                int64_t subround) {
+  const Route route = Resolve(from, to);
+  const int site = route.child;
   FGM_CHECK(SiteUp(site));
   const CounterMsg decoded = CheckedRoundTrip(
       msg, CounterMsg::kWords,
       [](const WordBuffer& in) { return CounterMsg::Decode(in); });
   const int64_t wire_words = CounterMsg::kWords + SpanWireExtra();
-  Charge(site, MsgKind::kCounter, -1, wire_words);
+  Charge(route, MsgKind::kCounter, wire_words);
   if (SampleDrop()) {
     ++net_stats_.dropped_msgs;
     net_stats_.dropped_words += wire_words;
     SiteNetStats& ss = site_stats_[static_cast<size_t>(site)];
     ++ss.dropped_msgs;
     ss.dropped_words += wire_words;
-    EmitNetEvent(TraceEventKind::kMsgDropped, site, MsgKind::kCounter, -1,
+    EmitNetEvent(TraceEventKind::kMsgDropped, route, MsgKind::kCounter,
                  wire_words, now_, "loss");
     if (spans_ != nullptr) {
       // Charged but never delivered: a point span keeps the word sums
@@ -299,7 +321,8 @@ void EventNetwork::PostCounter(int site, CounterMsg msg, int64_t round,
       s.begin = now_;
       s.words = wire_words;
       s.count = 1;
-      s.dir = -1;
+      s.dir = route.dir;
+      s.tier = network_.tier();
       s.label = MsgKindName(MsgKind::kCounter);
       s.reason = "loss";
       spans_->EmitComplete(s);
@@ -314,6 +337,8 @@ void EventNetwork::PostCounter(int site, CounterMsg msg, int64_t round,
   env.due = now_ + delay;
   env.seq = next_seq_++;
   env.delivery.site = site;
+  env.delivery.from = from;
+  env.delivery.to = to;
   env.delivery.msg = decoded;
   env.delivery.round = round;
   env.delivery.subround = subround;
@@ -339,8 +364,9 @@ bool EventNetwork::PopCounter(CounterDelivery* out) {
   ss.delivered_words += wire_words;
   ss.latency_ticks += out->due - out->posted;
   ++ss.latency_samples;
-  EmitNetEvent(TraceEventKind::kMsgDelivered, out->site, MsgKind::kCounter,
-               -1, wire_words, out->due, nullptr);
+  const Route route{out->site, out->from == kParent ? +1 : -1};
+  EmitNetEvent(TraceEventKind::kMsgDelivered, route, MsgKind::kCounter,
+               wire_words, out->due, nullptr);
   if (spans_ != nullptr) {
     // post → due is wire time; due → drain is how long the datagram sat
     // waiting for the protocol to reach a safe drain point.
@@ -354,7 +380,8 @@ bool EventNetwork::PopCounter(CounterDelivery* out) {
     s.end = now_;
     s.words = wire_words;
     s.count = 1;
-    s.dir = -1;
+    s.dir = route.dir;
+    s.tier = network_.tier();
     s.transit = out->due - out->posted;
     s.drain = now_ - out->due;
     s.label = MsgKindName(MsgKind::kCounter);

@@ -1,12 +1,22 @@
 // Discrete-event network simulator behind the Transport interface.
 //
 // EventNetwork carries the *real* serialized wire messages of
-// net/wire.h over a simulated star network with per-link latency
-// distributions, bandwidth caps, reordering jitter, probabilistic drop
-// and scheduled site outages — every message is encoded, size-checked
-// against the charged word count, decoded and bit-verified exactly like
-// the strict SerializingTransport, then delayed (and possibly lost)
-// before delivery.
+// net/wire.h over simulated links with per-link latency distributions,
+// bandwidth caps, reordering jitter, probabilistic drop and scheduled
+// endpoint outages — every message is encoded, size-checked against the
+// charged word count, decoded and bit-verified exactly like the strict
+// SerializingTransport, then delayed (and possibly lost) before
+// delivery.
+//
+// Addressing is by general (from, to) endpoint ids, with one structural
+// constraint: each EventNetwork instance models the links between one
+// parent (endpoint id kParent) and its child endpoints, i.e. one star.
+// The flat protocols run a single star whose children are the k sites;
+// tree topologies (src/hier) route along tree edges by running their
+// faulty tier's links through an EventNetwork whose child endpoints are
+// that tier's aggregators. The Transport overrides are the flat
+// two-endpoint fast path: Ship* = (kParent, site), Send*/PostCounter =
+// (site, kParent); both resolve through the same (from, to) router.
 //
 // Two delivery disciplines:
 //
@@ -51,6 +61,11 @@ enum class TraceEventKind : int;
 
 namespace sim {
 
+/// The parent endpoint id in (from, to) addressing: the hub every child
+/// endpoint of a star talks to (the coordinator in a flat run; the
+/// tier's parent node in a tree topology).
+inline constexpr int kParent = -1;
+
 /// Aggregate counters for a simulated run. Message/word counts obey
 /// conservation per direction: sent = delivered + dropped (the replay
 /// checker re-verifies this from the trace).
@@ -89,7 +104,9 @@ struct SiteNetStats {
 
 /// A counter datagram handed to the protocol at its due tick.
 struct CounterDelivery {
-  int site = 0;
+  int site = 0;       ///< child endpoint id of the carrying link
+  int from = 0;       ///< sending endpoint (kParent = the hub)
+  int to = kParent;   ///< receiving endpoint
   CounterMsg msg{0};
   int64_t round = 0;     ///< epoch the datagram was sent in
   int64_t subround = 0;
@@ -129,11 +146,17 @@ class EventNetwork final : public Transport {
   DriftFlushMsg SendDriftFlush(int site, DriftFlushMsg msg) override;
   RawUpdateMsg SendRawUpdate(int site, RawUpdateMsg msg) override;
 
-  /// Fire-and-forget counter datagram (site → coordinator). Charges one
-  /// word, samples loss and delay, and queues the delivery. The caller
-  /// must be an up site.
-  void PostCounter(int site, CounterMsg msg, int64_t round,
+  /// Fire-and-forget counter datagram between endpoints (from, to), one
+  /// of which must be kParent. Charges one word, samples loss and delay,
+  /// and queues the delivery. The sending child endpoint must be up.
+  void PostCounter(int from, int to, CounterMsg msg, int64_t round,
                    int64_t subround);
+
+  /// Flat fast path: (site, kParent), i.e. site → coordinator.
+  void PostCounter(int site, CounterMsg msg, int64_t round,
+                   int64_t subround) {
+    PostCounter(site, kParent, msg, round, subround);
+  }
 
   /// Pops the next datagram whose due tick has been reached, in
   /// (due, send order) — jitter beyond the base latency produces genuine
@@ -181,11 +204,22 @@ class EventNetwork final : public Transport {
     }
   };
 
+  /// A resolved (from, to) endpoint pair: the child whose link carries
+  /// the message, and the direction (+1 parent → child, -1 child →
+  /// parent).
+  struct Route {
+    int child;
+    int dir;
+  };
+  /// Resolves general (from, to) addressing against this star: exactly
+  /// one endpoint must be kParent, the other a valid child id.
+  Route Resolve(int from, int to) const;
+
   /// Strict encode → size-check → charge → decode → bit-verify, plus the
-  /// simulated delay and drop/retransmit loop. `dir` is +1 upstream
-  /// (coordinator → site), -1 downstream.
+  /// simulated delay and drop/retransmit loop, between endpoints
+  /// (from, to).
   template <typename Msg, typename DecodeFn>
-  Msg Rpc(int site, MsgKind kind, int dir, const Msg& msg,
+  Msg Rpc(int from, int to, MsgKind kind, const Msg& msg,
           int64_t charged_words, DecodeFn decode);
 
   /// Encode/verify without network semantics (shared by Rpc/PostCounter).
@@ -193,12 +227,12 @@ class EventNetwork final : public Transport {
   Msg CheckedRoundTrip(const Msg& msg, int64_t charged_words,
                        DecodeFn decode);
 
-  void Charge(int site, MsgKind kind, int dir, int64_t words);
+  void Charge(Route route, MsgKind kind, int64_t words);
   bool SampleDrop();
   int64_t SampleLatency();
   int64_t TransferTicks(int64_t words) const;
-  void EmitNetEvent(TraceEventKind kind, int site, MsgKind msg_kind,
-                    int dir, int64_t words, int64_t t, const char* reason);
+  void EmitNetEvent(TraceEventKind kind, Route route, MsgKind msg_kind,
+                    int64_t words, int64_t t, const char* reason);
 
   NetSimConfig config_;
   LatencySpec latency_;

@@ -67,7 +67,11 @@ constexpr int kKinds = static_cast<int>(fgm::MsgKind::kKindCount);
 /// the derived waste ratio, replayed-per-window and barrier rate).
 /// v3: added the "alerts" object (health-monitor AlertRaised/AlertCleared
 /// tallies, per-rule counts and the full event list).
-constexpr int64_t kReportSchemaVersion = 3;
+/// v4: added the tree-topology fields for hierarchical runs (src/hier):
+/// top-level "topology"/"leaves" and the "tiers" array (per-tier
+/// endpoints, mean fan-in, up/down words and messages, drift flushes,
+/// aggregator local polls and the composed-ψ range each tier reported).
+constexpr int64_t kReportSchemaVersion = 4;
 
 std::string Format(const char* fmt, ...) {
   char buf[512];
@@ -116,6 +120,23 @@ struct SiteStats {
   int64_t increments = 0;
 };
 
+/// One aggregator tier of a tree-topology run (tier 1 = just below the
+/// root). Words/messages come from the tier's TierEnd ledger; flushes,
+/// local polls and the composed-ψ range are tallied from the individual
+/// tier-stamped events.
+struct TierStats {
+  int tier = 0;
+  int endpoints = 0;  ///< child endpoints of this tier's links
+  int64_t up_words = 0, down_words = 0;
+  int64_t up_msgs = 0, down_msgs = 0;
+  int64_t flushes = 0;
+  int64_t flush_words = 0;
+  int64_t local_polls = 0;
+  bool has_psi = false;
+  double min_psi = 0.0;  ///< most negative polled subtree sum
+  double max_psi = 0.0;  ///< closest-to-zero polled subtree sum
+};
+
 /// One health-monitor alert transition (obs/health.h), as traced.
 struct AlertEvent {
   bool raised = false;  ///< true = AlertRaised, false = AlertCleared
@@ -152,6 +173,15 @@ struct TraceSummary {
   int64_t alerts_raised = 0;
   int64_t alerts_cleared = 0;
 
+  // Tree-topology runs (src/hier): the RunStart spec string ("tree:16"),
+  // the leaf count, and one TierStats per aggregator tier. All empty on
+  // flat runs.
+  std::string topology;
+  int64_t leaves = 0;
+  std::vector<TierStats> tiers;
+
+  bool has_tiers() const { return !tiers.empty(); }
+
   bool has_net() const {
     return net_delivered_msgs + net_dropped_msgs + net_site_downs +
                net_resyncs >
@@ -183,6 +213,18 @@ struct TraceSummary {
       sites.resize(static_cast<size_t>(site) + 1);
     }
     return sites[static_cast<size_t>(site)];
+  }
+
+  TierStats& Tier(int tier) {
+    if (tier < 1) tier = 1;
+    if (static_cast<size_t>(tier) > tiers.size()) {
+      const size_t old = tiers.size();
+      tiers.resize(static_cast<size_t>(tier));
+      for (size_t i = old; i < tiers.size(); ++i) {
+        tiers[i].tier = static_cast<int>(i) + 1;
+      }
+    }
+    return tiers[static_cast<size_t>(tier) - 1];
   }
 
   /// Completed-round count = highest round number seen.
@@ -222,10 +264,44 @@ bool ReadTrace(const std::string& path, TraceSummary* out,
       return false;
     }
     ++out->lines;
+    // Tier-stamped events (src/hier aggregator tiers) never touch the flat
+    // per-round/per-site tables; they only feed the tier tallies. This
+    // mirrors the replay checker's routing (obs/replay.cc).
+    if (e.tier != 0) {
+      TierStats& t = out->Tier(e.tier);
+      switch (e.kind) {
+        case fgm::TraceEventKind::kSubroundEnd: {
+          // An aggregator's local poll: e.psi is the polled subtree sum.
+          ++t.local_polls;
+          if (!t.has_psi || e.psi < t.min_psi) t.min_psi = e.psi;
+          if (!t.has_psi || e.psi > t.max_psi) t.max_psi = e.psi;
+          t.has_psi = true;
+          break;
+        }
+        case fgm::TraceEventKind::kDriftFlush:
+          ++t.flushes;
+          t.flush_words += e.words;
+          break;
+        case fgm::TraceEventKind::kTierEnd:
+          t.endpoints = e.k;
+          t.up_words = e.up_words;
+          t.down_words = e.down_words;
+          t.up_msgs = e.up_msgs;
+          t.down_msgs = e.down_msgs;
+          break;
+        default:
+          break;  // kMsgSent etc. already summed by the TierEnd ledger
+      }
+      continue;
+    }
     switch (e.kind) {
       case fgm::TraceEventKind::kRunStart:
         out->protocol = e.label != nullptr ? e.label : "?";
         out->k = e.k;
+        if (e.reason != nullptr) {
+          out->topology = e.reason;
+          out->leaves = e.counter;
+        }
         break;
       case fgm::TraceEventKind::kRoundStart: {
         current_round = e.round;
@@ -327,6 +403,8 @@ bool ReadTrace(const std::string& path, TraceSummary* out,
         out->run_up_msgs = e.up_msgs;
         out->run_down_msgs = e.down_msgs;
         break;
+      case fgm::TraceEventKind::kTierEnd:
+        break;  // unreachable in valid traces: TierEnd is always tier-stamped
       case fgm::TraceEventKind::kKindCount:
         break;
     }
@@ -770,6 +848,43 @@ void PrintNetwork(const TraceSummary& t, const fgm::JsonNode* m,
   }
 }
 
+/// Tree-topology tier table (src/hier): one row per aggregator tier with
+/// its TierEnd word ledger, drift-flush and local-poll tallies, and the
+/// range of composed subtree sums its polls observed. fan-in is the mean
+/// child count per parent on that tier's links (endpoints[t-1] parents,
+/// endpoints[t] children; tier 1's parents are the root's k endpoints).
+void PrintTiers(const TraceSummary& t) {
+  if (!t.has_tiers()) return;
+  fgm::PrintBanner("Tree topology");
+  std::printf("topology=%s  tiers=%lld  leaves=%lld  root endpoints k=%d\n",
+              t.topology.empty() ? "?" : t.topology.c_str(),
+              static_cast<long long>(t.tiers.size() + 1),
+              static_cast<long long>(t.leaves), t.k);
+  fgm::TablePrinter table({"tier", "endpoints", "fan-in", "up_words",
+                           "down_words", "up_msgs", "down_msgs", "flushes",
+                           "local_polls", "min_psi", "max_psi"});
+  int prev_endpoints = t.k;
+  for (const TierStats& tier : t.tiers) {
+    const double fan_in =
+        prev_endpoints > 0
+            ? static_cast<double>(tier.endpoints) / prev_endpoints
+            : 0.0;
+    table.AddRow({fgm::TablePrinter::Cell(static_cast<int64_t>(tier.tier)),
+                  fgm::TablePrinter::Cell(static_cast<int64_t>(tier.endpoints)),
+                  fgm::TablePrinter::Cell(fan_in),
+                  fgm::TablePrinter::Cell(tier.up_words),
+                  fgm::TablePrinter::Cell(tier.down_words),
+                  fgm::TablePrinter::Cell(tier.up_msgs),
+                  fgm::TablePrinter::Cell(tier.down_msgs),
+                  fgm::TablePrinter::Cell(tier.flushes),
+                  fgm::TablePrinter::Cell(tier.local_polls),
+                  fgm::TablePrinter::Cell(tier.has_psi ? tier.min_psi : 0.0),
+                  fgm::TablePrinter::Cell(tier.has_psi ? tier.max_psi : 0.0)});
+    prev_endpoints = tier.endpoints;
+  }
+  table.Print();
+}
+
 /// Health-monitor alert log: every raise/clear transition with the
 /// measured value vs the rule threshold at the instant it fired.
 void PrintAlerts(const TraceSummary& t, int64_t max_rounds) {
@@ -1010,6 +1125,30 @@ void WriteJsonReport(const std::string& path, const std::string& trace_path,
     w.EndObject();
   }
   w.EndArray();
+  if (t.has_tiers()) {
+    if (!t.topology.empty()) w.Field("topology", t.topology);
+    w.Field("leaves", t.leaves);
+    w.Key("tiers");
+    w.BeginArray();
+    for (const TierStats& tier : t.tiers) {
+      w.BeginObject();
+      w.Field("tier", static_cast<int64_t>(tier.tier));
+      w.Field("endpoints", static_cast<int64_t>(tier.endpoints));
+      w.Field("up_words", tier.up_words);
+      w.Field("down_words", tier.down_words);
+      w.Field("up_msgs", tier.up_msgs);
+      w.Field("down_msgs", tier.down_msgs);
+      w.Field("flushes", tier.flushes);
+      w.Field("flush_words", tier.flush_words);
+      w.Field("local_polls", tier.local_polls);
+      if (tier.has_psi) {
+        w.Field("min_psi", tier.min_psi);
+        w.Field("max_psi", tier.max_psi);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   if (t.has_net()) {
     w.Key("net");
     w.BeginObject();
@@ -1216,8 +1355,16 @@ int main(int argc, char** argv) {
     have_spans = true;
     // The span file is the fourth view of the same run: its invariants
     // must hold and its wire-word sums must re-add to the trace's totals.
+    // Spans instrument every link tier, so on tree runs the target is
+    // the root-tier RunEnd totals plus the TierEnd ledgers.
+    int64_t span_up_target = trace.run_up_words;
+    int64_t span_down_target = trace.run_down_words;
+    for (const TierStats& tier : trace.tiers) {
+      span_up_target += tier.up_words;
+      span_down_target += tier.down_words;
+    }
     const std::vector<std::string> span_issues = fgm::CheckSpans(
-        spans, trace.run_up_words, trace.run_down_words, &span_stats);
+        spans, span_up_target, span_down_target, &span_stats);
     for (const std::string& issue : span_issues) {
       checks.Expect(false, "spans: " + issue);
     }
@@ -1227,6 +1374,7 @@ int main(int argc, char** argv) {
 
   PrintHeader(trace_path, trace);
   PrintRoundTable(trace, max_rounds);
+  PrintTiers(trace);
   PrintSiteSkew(trace);
   PrintOptimizerAudit(trace, max_rounds);
   PrintAlerts(trace, max_rounds);

@@ -15,6 +15,13 @@
 // --alerts additionally requires at least one AlertRaised event across
 // the given traces (raise/clear pairing is always checked by the replay
 // itself). Used by CI fixtures that must prove the health monitor fired.
+//
+// --tiers additionally requires every trace to be a tree-topology run
+// whose aggregator tiers all closed their word ledgers (at least one
+// TierEnd event, each certified bit-exactly against its tier's MsgSent
+// sum, plus cross-tier flush conservation — all checked by the replay
+// whenever tier events appear; the flag turns their absence into a
+// failure). Used by CI tree fixtures.
 
 #include <cstdio>
 #include <string>
@@ -28,14 +35,15 @@ int main(int argc, char** argv) {
   fgm::Flags flags(argc, argv);
   const std::string spans_path = flags.GetString("spans", "");
   const bool require_alerts = flags.GetBool("alerts", false);
+  const bool require_tiers = flags.GetBool("tiers", false);
   const std::vector<std::string>& traces = flags.positional();
   if (!flags.Validate("trace_check TRACE.jsonl [MORE.jsonl ...] "
-                      "[--spans=S.json] [--alerts]") ||
+                      "[--spans=S.json] [--alerts] [--tiers]") ||
       (traces.empty() && spans_path.empty())) {
-    std::fprintf(
-        stderr,
-        "usage: %s TRACE.jsonl [MORE.jsonl ...] [--spans=S.json] [--alerts]\n",
-        argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s TRACE.jsonl [MORE.jsonl ...] [--spans=S.json] "
+                 "[--alerts] [--tiers]\n",
+                 argv[0]);
     return 2;
   }
 
@@ -47,9 +55,18 @@ int main(int argc, char** argv) {
     const fgm::ReplayReport report = fgm::CheckTraceFile(path);
     std::printf("%s: %s\n", path.c_str(), report.Summary().c_str());
     ok = ok && report.ok();
-    up_words = report.up_words;
-    down_words = report.down_words;
+    // Spans instrument every link tier, so on tree runs the conservation
+    // target is the root-tier RunEnd totals plus the certified TierEnd
+    // ledgers.
+    up_words = report.up_words + report.tier_up_words;
+    down_words = report.down_words + report.tier_down_words;
     alerts_raised += report.alerts_raised;
+    if (require_tiers && report.tier_ends == 0) {
+      std::printf("FAIL: --tiers given but %s has no certified tier "
+                  "ledgers (flat run?)\n",
+                  path.c_str());
+      ok = false;
+    }
   }
   if (require_alerts && alerts_raised == 0) {
     std::printf("FAIL: --alerts given but no AlertRaised event found\n");
